@@ -1,0 +1,30 @@
+"""Figure 2 benchmark: the share-packing construction for r = (3, 4, 8)."""
+
+from conftest import run_once
+
+from repro.experiments.fig2 import FIG2_RATES, run_fig2
+from repro.experiments.reporting import rows_to_table
+
+
+def test_fig2_packing(benchmark):
+    rows = run_once(benchmark, run_fig2)
+    print("\nFigure 2: greedy share packing, r =", FIG2_RATES)
+    print(
+        rows_to_table(
+            rows,
+            ["mu", "symbols_packed", "optimal_floor", "share_usage", "fully_utilized"],
+        )
+    )
+    # The packing exactly realises the Theorem 4 optimum at every mu.
+    assert [row["symbols_packed"] for row in rows] == [15, 7, 3]
+    assert all(row["symbols_packed"] == row["optimal_floor"] for row in rows)
+
+
+def test_fig2_packing_scales(benchmark):
+    """Packing cost for a larger synthetic channel set (microbenchmark)."""
+    from repro.core.rate import pack_schedule
+
+    rates = [((i * 37) % 50) + 1 for i in range(12)]
+    columns, used = benchmark(pack_schedule, rates, 4)
+    assert columns
+    assert all(u <= r for u, r in zip(used, rates))

@@ -1,0 +1,40 @@
+"""Figure 5 benchmark: loss at maximum rate on the Lossy setup.
+
+Solid lines in the paper are the Sec. IV-D LP optima; points are measured.
+The assertions check tracking and the redundancy trend (loss falling as µ
+grows away from κ).
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.reporting import rows_to_table
+
+
+def test_fig5_loss_at_max_rate(benchmark):
+    rows = run_once(benchmark, run_fig5, quick=True)
+    print("\nFigure 5: loss at maximum rate (Lossy setup)")
+    print(rows_to_table(rows, ["kappa", "mu", "optimal_loss_pct", "actual_loss_pct"]))
+    # Measured loss tracks the LP optimum (within a few points; the paper
+    # notes implementation-specific spikes at isolated parameters).
+    close = sum(
+        1
+        for row in rows
+        if row["actual_loss_pct"] <= row["optimal_loss_pct"] + 3.0
+    )
+    assert close >= 0.8 * len(rows)
+    # Redundancy trend: for kappa = 1, loss falls to ~zero by mu = n.
+    k1 = [row for row in rows if row["kappa"] == 1.0]
+    assert k1[-1]["actual_loss_pct"] < k1[0]["actual_loss_pct"]
+
+
+def test_fig5_fixed_selector_pathology(benchmark):
+    """Ablation: the naive fixed-order (fd-order) selector reproduces the
+    paper's pathological interactions more strongly than headroom order."""
+    rows = run_once(
+        benchmark, run_fig5, kappas=(3.0,), mu_step=0.4,
+        duration=8.0, warmup=2.0, selector_ordering="fixed",
+    )
+    print("\nFigure 5 ablation: fixed selector ordering, kappa = 3")
+    print(rows_to_table(rows, ["kappa", "mu", "optimal_loss_pct", "actual_loss_pct"]))
+    assert rows  # series produced; deviations are expected and reported

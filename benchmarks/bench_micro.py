@@ -1,0 +1,123 @@
+"""Microbenchmarks: the building blocks behind the figure reproductions.
+
+These back the paper's feasibility claim ("secret sharing protocols can be
+efficiently implemented"): share splitting/reconstruction throughput, LP
+solve time for the schedule programs, subset-property evaluation, and raw
+simulator event throughput.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.program import Objective, build_program
+from repro.core.properties import subset_delay, subset_loss, subset_risk
+from repro.lp import solve
+from repro.netsim.engine import Engine
+from repro.sharing.shamir import ShamirScheme
+from repro.sharing.xor import XorScheme
+from repro.workloads.setups import diverse_setup, lossy_setup
+
+SYMBOL = bytes(range(256)) * 5  # 1280 bytes, ~one datagram payload
+
+
+@pytest.fixture(scope="module")
+def channels():
+    return lossy_setup()
+
+
+class TestSharingThroughput:
+    def test_shamir_split_3_of_5(self, benchmark):
+        scheme = ShamirScheme()
+        rng = np.random.default_rng(0)
+        shares = benchmark(scheme.split, SYMBOL, 3, 5, rng)
+        assert len(shares) == 5
+
+    def test_shamir_reconstruct_3_of_5(self, benchmark):
+        scheme = ShamirScheme()
+        shares = scheme.split(SYMBOL, 3, 5, np.random.default_rng(0))[:3]
+        result = benchmark(scheme.reconstruct, shares)
+        assert result == SYMBOL
+
+    def test_shamir_split_high_threshold(self, benchmark):
+        scheme = ShamirScheme()
+        rng = np.random.default_rng(0)
+        shares = benchmark(scheme.split, SYMBOL, 5, 5, rng)
+        assert len(shares) == 5
+
+    def test_xor_split_5_of_5(self, benchmark):
+        scheme = XorScheme()
+        rng = np.random.default_rng(0)
+        shares = benchmark(scheme.split, SYMBOL, 5, 5, rng)
+        assert len(shares) == 5
+
+
+class TestModelEvaluation:
+    def test_subset_risk_full_set(self, benchmark, channels):
+        value = benchmark(subset_risk, channels, 3, range(5))
+        assert 0.0 <= value <= 1.0
+
+    def test_subset_loss_full_set(self, benchmark, channels):
+        value = benchmark(subset_loss, channels, 3, range(5))
+        assert 0.0 <= value <= 1.0
+
+    def test_subset_delay_full_set(self, benchmark, channels):
+        value = benchmark(subset_delay, channels, 3, range(5))
+        assert value >= 0.0
+
+
+class TestLpSolve:
+    def _program(self, channels, at_max_rate):
+        return build_program(
+            channels, Objective.LOSS, kappa=2.0, mu=3.4, at_max_rate=at_max_rate
+        )[0]
+
+    def test_free_program_scipy(self, benchmark, channels):
+        program = self._program(channels, at_max_rate=False)
+        solution = benchmark(solve, program, "scipy")
+        assert solution.objective >= 0.0
+
+    def test_maxrate_program_scipy(self, benchmark, channels):
+        program = self._program(channels, at_max_rate=True)
+        solution = benchmark(solve, program, "scipy")
+        assert solution.objective >= 0.0
+
+    def test_maxrate_program_simplex(self, benchmark, channels):
+        program = self._program(channels, at_max_rate=True)
+        solution = benchmark(solve, program, "simplex")
+        assert solution.objective >= 0.0
+
+
+class TestSimulatorThroughput:
+    def test_engine_event_throughput(self, benchmark):
+        def run_events():
+            engine = Engine()
+
+            def chain(remaining):
+                if remaining:
+                    engine.schedule(0.001, chain, remaining - 1)
+
+            chain_count = 20
+            for _ in range(chain_count):
+                engine.schedule(0.0, chain, 500)
+            engine.run()
+            return engine.events_processed
+
+        processed = benchmark(run_events)
+        assert processed == 20 * 501
+
+    def test_protocol_symbol_throughput(self, benchmark):
+        """End-to-end simulated symbols per wall-second (synthetic shares)."""
+        from repro.protocol.config import ProtocolConfig
+        from repro.workloads.iperf import run_iperf
+
+        channels = diverse_setup()
+        config = ProtocolConfig(kappa=2.0, mu=3.0, share_synthetic=True)
+
+        result = benchmark.pedantic(
+            run_iperf,
+            args=(channels, config),
+            kwargs={"offered_rate": 100.0, "duration": 10.0, "warmup": 1.0},
+            rounds=1,
+            iterations=1,
+        )
+        assert result.symbols_delivered > 500

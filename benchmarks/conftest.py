@@ -1,0 +1,18 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_fig*.py`` regenerates one figure of the paper's evaluation at
+benchmark-friendly (coarse) sweep settings, printing the same series the
+figure plots and asserting its qualitative shape.  Timings are collected by
+pytest-benchmark; run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+def run_once(benchmark, fn: Callable, *args, **kwargs):
+    """Benchmark an expensive experiment driver with a single round."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,79 @@
+"""Overlapping channels: why the model assumes disjoint paths.
+
+Sec. III-B argues that overlapping channels are strictly worse on every
+axis: a shared edge lets one tap observe several shares at once, and a
+shared bottleneck caps combined throughput.  This example builds a small
+ISP-like topology with networkx, compares a lazy channel choice (shortest
+paths, which share a trunk) against the max-flow edge-disjoint choice, and
+quantifies exactly how much the disjointness assumption is worth.
+
+Run:  python examples/overlapping_paths.py
+"""
+
+import networkx as nx
+
+from repro.core.overlap import (
+    are_edge_disjoint,
+    build_channel_set,
+    edge_disjoint_channel_paths,
+    independent_subset_risk,
+    joint_subset_risk,
+    max_disjoint_rate_scaling,
+)
+
+# --- Topology: client s, server t, two regional POPs, one shared trunk. --------
+graph = nx.Graph()
+edges = [
+    # (u, v, risk of a tap on this edge, loss, delay, rate)
+    ("s", "pop1", 0.05, 0.002, 0.5, 80.0),
+    ("s", "pop2", 0.05, 0.002, 0.7, 60.0),
+    ("pop1", "trunk", 0.20, 0.001, 1.0, 100.0),
+    ("pop2", "trunk", 0.20, 0.001, 1.2, 100.0),
+    ("trunk", "t", 0.30, 0.001, 1.0, 90.0),  # the juicy shared trunk
+    ("pop1", "t", 0.10, 0.010, 3.0, 40.0),  # slower private detours
+    ("pop2", "t", 0.10, 0.010, 3.5, 30.0),
+    ("s", "lte", 0.15, 0.020, 2.0, 25.0),
+    ("lte", "t", 0.15, 0.020, 2.0, 25.0),
+]
+for u, v, risk, loss, delay, rate in edges:
+    graph.add_edge(u, v, risk=risk, loss=loss, delay=delay, rate=rate)
+
+# --- Choice A: the two "fast" paths, both crossing the trunk. -------------------
+fast_paths = [["s", "pop1", "trunk", "t"], ["s", "pop2", "trunk", "t"]]
+print("Choice A: two fast paths sharing the trunk edge")
+print(f"  edge-disjoint: {are_edge_disjoint(fast_paths)}")
+independent = independent_subset_risk(graph, fast_paths, 2)
+true_risk = joint_subset_risk(graph, fast_paths, 2)
+print(f"  k=2 risk assuming independence: {independent:.4f}")
+print(f"  k=2 risk with correlated taps:  {true_risk:.4f} "
+      f"({true_risk / independent:.1f}x the naive estimate)")
+scaling = max_disjoint_rate_scaling(graph, fast_paths)
+print(f"  rate: only {100 * scaling:.0f}% of the per-path bottleneck rates fit "
+      f"through the shared trunk simultaneously")
+
+# --- Choice B: a maximum set of edge-disjoint paths (max-flow). -----------------
+disjoint = edge_disjoint_channel_paths(graph, "s", "t")
+print(f"\nChoice B: max-flow finds {len(disjoint)} edge-disjoint paths")
+for path in disjoint:
+    print("   ", " -> ".join(path))
+channels = build_channel_set(graph, disjoint)
+print("  composed channel properties (risk / loss / delay / rate):")
+for channel in channels:
+    print(
+        f"    {channel.name:>24}: {channel.risk:.3f} / {channel.loss:.4f} / "
+        f"{channel.delay:.1f} / {channel.rate:.0f}"
+    )
+k = min(2, channels.n)
+print(f"  k={k} risk with correlated taps:  "
+      f"{joint_subset_risk(graph, disjoint, k):.4f}")
+print(f"  k={k} risk assuming independence: "
+      f"{independent_subset_risk(graph, disjoint, k):.4f}  (identical: no overlap)")
+print(f"  rate scaling: {max_disjoint_rate_scaling(graph, disjoint):.2f} "
+      f"(full per-path rates fit)")
+
+print(
+    "\nOn this topology the lazy choice understates the adversary's power by"
+    f"\n{true_risk / independent:.1f}x and wastes half the trunk capacity; the"
+    "\nedge-disjoint choice makes the paper's model exact -- which is why the"
+    "\nmodel takes disjointness as its operating assumption."
+)

@@ -1,0 +1,83 @@
+"""Quickstart: model a multichannel setup, optimise it, and run the protocol.
+
+This walks the library's three layers end to end:
+
+1. describe your channels as (risk, loss, delay, rate) quadruples;
+2. use the model to compute the optimal privacy/loss/delay/rate envelope
+   and an LP-optimal share schedule for your chosen (κ, µ);
+3. run the ReMICSS reference protocol over a simulated network with that
+   configuration and compare measurement to prediction.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    ChannelSet,
+    Objective,
+    max_privacy_risk,
+    max_rate,
+    min_delay,
+    min_loss,
+    optimal_rate,
+    optimal_schedule,
+)
+from repro.protocol import ProtocolConfig
+from repro.workloads import run_iperf
+from repro.workloads.iperf import practical_max_rate
+
+# --- 1. Describe the channels -------------------------------------------------
+# Three paths between two hosts: a cheap-but-risky commodity link, a slower
+# leased line, and a modest wireless backup.  Rates are in symbols (1250-byte
+# datagrams) per unit time, delays in unit times, risk/loss as probabilities.
+channels = ChannelSet.from_vectors(
+    risks=[0.40, 0.05, 0.20],
+    losses=[0.010, 0.002, 0.030],
+    delays=[0.20, 0.50, 0.35],
+    rates=[100.0, 40.0, 60.0],
+    names=["commodity", "leased", "wireless"],
+)
+
+print("=== The channel set ===")
+for channel in channels:
+    print(
+        f"  {channel.name:>10}: risk {channel.risk:.2f}, loss {channel.loss:.3f}, "
+        f"delay {channel.delay:.2f}, rate {channel.rate:.0f}"
+    )
+
+# --- 2. What does the model promise? -----------------------------------------
+print("\n=== Global extremes (Sec. IV-B/IV-C of the paper) ===")
+risk, _ = max_privacy_risk(channels)
+loss, _ = min_loss(channels)
+delay, _ = min_delay(channels)
+print(f"  best privacy:    adversary learns a symbol w.p. {risk:.4f} (κ = µ = n)")
+print(f"  best loss:       symbol lost w.p. {loss:.2e} (κ = 1, µ = n)")
+print(f"  best delay:      {delay:.3f} unit times (κ = 1, µ = n)")
+print(f"  best rate:       {max_rate(channels):.0f} symbols/unit (κ = µ = 1)")
+
+# --- 3. Pick a tradeoff and compute its optimal schedule ----------------------
+kappa, mu = 2.0, 2.5
+rate = optimal_rate(channels, mu)
+schedule = optimal_schedule(
+    channels, Objective.PRIVACY, kappa=kappa, mu=mu, at_max_rate=True
+)
+print(f"\n=== LP-optimal schedule for κ = {kappa}, µ = {mu} at max rate ===")
+print(f"  achievable rate:  {rate:.1f} symbols/unit (Theorem 4)")
+print(f"  schedule risk:    Z(p) = {schedule.privacy_risk():.4f}")
+print(f"  schedule loss:    L(p) = {schedule.loss():.2e}")
+print(f"  schedule delay:   D(p) = {schedule.delay():.3f}")
+print("  schedule atoms:")
+for (k, members), probability in schedule.support():
+    names = ", ".join(channels[i].name for i in sorted(members))
+    print(f"    p(k={k}, M={{{names}}}) = {probability:.3f}")
+
+# --- 4. Run the reference protocol and compare --------------------------------
+config = ProtocolConfig(kappa=kappa, mu=mu, share_synthetic=True)
+offered = practical_max_rate(channels, mu, config.symbol_size)
+result = run_iperf(channels, config, offered_rate=offered, duration=30.0, warmup=5.0)
+print("\n=== ReMICSS measured over the simulated network ===")
+print(f"  offered rate:     {offered:.1f} symbols/unit")
+print(f"  achieved rate:    {result.achieved_rate:.1f} symbols/unit "
+      f"({100 * result.achieved_rate / rate:.1f}% of the Theorem-4 optimum)")
+print(f"  measured loss:    {result.loss_percent:.3f}%")
+print("\nThe paper's headline claim -- a practical protocol transmitting within")
+print("3-4% of the model's optimal rate -- should be visible directly above.")

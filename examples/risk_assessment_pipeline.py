@@ -1,0 +1,78 @@
+"""Risk-assessment pipeline: from IDS alerts to protocol parameters.
+
+The model takes the risk vector z as an input, "estimated using network
+risk assessment techniques" (Sec. III-A).  This example runs that whole
+pipeline: simulate ground-truth channel compromises and the noisy IDS
+alerts they produce, filter the alerts through the HMM risk estimator,
+rebuild the channel set with the estimated risks, and let the linear
+program re-derive the privacy-optimal share schedule as the threat picture
+changes.
+
+Run:  python examples/risk_assessment_pipeline.py
+"""
+
+import numpy as np
+
+from repro.adversary import (
+    HmmRiskEstimator,
+    HmmRiskModel,
+    simulate_channel_history,
+)
+from repro.core import ChannelSet, Objective, optimal_schedule
+
+rng = np.random.default_rng(21)
+
+# Three channels with distinct monitoring characteristics.
+MODELS = [
+    HmmRiskModel(p_compromise=0.002, p_recover=0.02, p_false_alert=0.02, p_true_alert=0.6),
+    HmmRiskModel(p_compromise=0.010, p_recover=0.05, p_false_alert=0.05, p_true_alert=0.7),
+    HmmRiskModel(p_compromise=0.030, p_recover=0.03, p_false_alert=0.08, p_true_alert=0.8),
+]
+NAMES = ["backbone", "metro", "wireless"]
+EPOCHS = 300
+REVIEW_EVERY = 100  # re-derive the schedule after this many epochs
+
+# Ground truth + alert streams.
+histories = [simulate_channel_history(model, EPOCHS, rng) for model in MODELS]
+estimators = [HmmRiskEstimator(model) for model in MODELS]
+
+print("Filtering IDS alert streams into per-channel risk (HMM forward pass)\n")
+print(f"{'epoch':>6}  " + "  ".join(f"{name:>10}" for name in NAMES) + "   schedule response")
+print("-" * 78)
+
+for epoch in range(EPOCHS):
+    for estimator, (_, alerts) in zip(estimators, histories):
+        estimator.update(alerts[epoch])
+    if (epoch + 1) % REVIEW_EVERY:
+        continue
+
+    # Rebuild the channel set with current risk estimates and re-optimise.
+    channels = ChannelSet.from_vectors(
+        risks=[e.risk for e in estimators],
+        losses=[0.01, 0.01, 0.02],
+        delays=[0.3, 0.2, 0.1],
+        rates=[100.0, 60.0, 40.0],
+        names=NAMES,
+    )
+    schedule = optimal_schedule(
+        channels, Objective.PRIVACY, kappa=2.0, mu=2.5, at_max_rate=True
+    )
+    risk_cells = "  ".join(f"{e.risk:>10.3f}" for e in estimators)
+    print(f"{epoch + 1:>6}  {risk_cells}   Z(p) = {schedule.privacy_risk():.4f}")
+    heavy = max(
+        schedule.support(),
+        key=lambda item: item[1],
+    )
+    (k, members), probability = heavy
+    names = ",".join(NAMES[i] for i in sorted(members))
+    print(f"{'':>6}  heaviest atom: p(k={k}, M={{{names}}}) = {probability:.2f}")
+
+truth = ["COMPROMISED" if states[-1] else "safe" for states, _ in histories]
+print("\nGround truth at the end of the run: " + ", ".join(
+    f"{name}={state}" for name, state in zip(NAMES, truth)
+))
+print(
+    "\nAs estimated risk shifts between channels, the LP shifts schedule mass"
+    "\naway from channels it believes are tapped -- closing the loop from raw"
+    "\nmonitoring data to concrete protocol behaviour."
+)

@@ -1,0 +1,31 @@
+"""Reproduction of "Modeling Privacy and Tradeoffs in Multichannel Secret
+Sharing Protocols" (Pohly & McDaniel, DSN 2016).
+
+The library has three layers:
+
+* **Model** (:mod:`repro.core`): channels as (risk, loss, delay, rate)
+  quadruples, share schedules p(k, M), the subset/schedule property
+  formulas, the rate theorems, and the linear programs that compute
+  property-optimal schedules -- the paper's analytical contribution.
+* **Substrates**: finite fields (:mod:`repro.gf`), threshold secret sharing
+  (:mod:`repro.sharing`), a from-scratch LP solver (:mod:`repro.lp`), and a
+  deterministic discrete-event network simulator (:mod:`repro.netsim`)
+  standing in for the paper's five-link hardware testbed.
+* **System** (:mod:`repro.protocol`, :mod:`repro.adversary`,
+  :mod:`repro.workloads`, :mod:`repro.experiments`): the ReMICSS reference
+  protocol and MICSS baseline, Monte-Carlo adversaries, iperf-style
+  workloads, and one driver per figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro.core import ChannelSet, Objective, optimal_schedule, optimal_rate
+
+    channels = ChannelSet.from_vectors(
+        risks=[0.2, 0.3, 0.1], losses=[0.01, 0.02, 0.005],
+        delays=[2.0, 5.0, 1.0], rates=[100.0, 50.0, 25.0])
+    schedule = optimal_schedule(channels, Objective.PRIVACY,
+                                kappa=2.0, mu=2.5, at_max_rate=True)
+    print(schedule.privacy_risk(), optimal_rate(channels, 2.5))
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,25 @@
+"""Information-theoretic analysis of the sharing substrate.
+
+The paper grounds its privacy measure in Shannon's perfect secrecy
+(Sec. II-B): below the threshold, shares carry *zero* information about
+the secret.  :mod:`repro.analysis.secrecy` verifies that claim exactly --
+not statistically -- by enumerating the full joint distribution of
+(secret, observed shares) over small prime fields and computing entropies
+and mutual information in closed form.
+"""
+
+from repro.analysis.secrecy import (
+    SecrecyReport,
+    entropy,
+    joint_distribution,
+    mutual_information,
+    verify_perfect_secrecy,
+)
+
+__all__ = [
+    "entropy",
+    "mutual_information",
+    "joint_distribution",
+    "verify_perfect_secrecy",
+    "SecrecyReport",
+]

@@ -1,0 +1,254 @@
+"""Command-line interface to the model, planner and simulator.
+
+Examples::
+
+    # Optimal rate and full-utilisation bound for a channel set
+    python -m repro.cli rate --channel 0.2,0.01,0.25,5 \\
+                             --channel 0.1,0.005,0.025,20 --mu 1.5
+
+    # A privacy-optimal schedule at maximum rate
+    python -m repro.cli optimize --channels channels.json \\
+                                 --kappa 2 --mu 3 --objective privacy
+
+    # The fastest plan meeting requirements
+    python -m repro.cli plan --channels channels.json --max-risk 0.01
+
+    # Measure the reference protocol on the simulated testbed
+    python -m repro.cli simulate --channels channels.json --kappa 2 --mu 3
+
+Channels are given either inline (``--channel z,loss,delay,rate``, repeat
+per channel) or as a JSON file: a list of ``[z, loss, delay, rate]`` rows
+or of ``{"risk": ..., "loss": ..., "delay": ..., "rate": ...}`` objects.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.channel import ChannelSet
+from repro.core.optimal import max_privacy_risk, min_delay, min_loss
+from repro.core.planner import (
+    NoFeasiblePlanError,
+    Requirements,
+    plan_max_rate,
+)
+from repro.core.program import Objective, optimal_schedule
+from repro.core.rate import (
+    full_utilization_mu_limit,
+    max_rate,
+    optimal_rate,
+)
+from repro.lp import InfeasibleError
+
+
+def _parse_inline_channel(spec: str) -> List[float]:
+    parts = spec.split(",")
+    if len(parts) != 4:
+        raise argparse.ArgumentTypeError(
+            f"expected 'risk,loss,delay,rate', got {spec!r}"
+        )
+    try:
+        return [float(p) for p in parts]
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
+def load_channels(
+    json_path: Optional[str], inline: Optional[Sequence[List[float]]]
+) -> ChannelSet:
+    """Build a ChannelSet from a JSON file or inline specs.
+
+    Raises:
+        SystemExit: via argparse-style error when neither/both given or
+            the JSON is malformed.
+    """
+    if json_path and inline:
+        raise ValueError("give either --channels or --channel, not both")
+    rows: List[List[float]]
+    if json_path:
+        with open(json_path) as handle:
+            data = json.load(handle)
+        rows = []
+        for entry in data:
+            if isinstance(entry, dict):
+                rows.append(
+                    [entry["risk"], entry["loss"], entry["delay"], entry["rate"]]
+                )
+            else:
+                rows.append([float(v) for v in entry])
+    elif inline:
+        rows = [list(spec) for spec in inline]
+    else:
+        raise ValueError("no channels given; use --channels FILE or --channel z,l,d,r")
+    return ChannelSet.from_vectors(
+        risks=[r[0] for r in rows],
+        losses=[r[1] for r in rows],
+        delays=[r[2] for r in rows],
+        rates=[r[3] for r in rows],
+    )
+
+
+def _print_schedule(schedule) -> None:
+    print(f"kappa = {schedule.kappa:.4f}, mu = {schedule.mu:.4f}")
+    print(f"Z(p) = {schedule.privacy_risk():.6f}")
+    print(f"L(p) = {schedule.loss():.6f}")
+    print(f"D(p) = {schedule.delay():.6f}")
+    print(f"sustainable rate = {schedule.max_symbol_rate():.4f} symbols/unit")
+    print("atoms:")
+    for (k, members), probability in schedule.support():
+        print(f"  p(k={k}, M={{{','.join(map(str, sorted(members)))}}}) = {probability:.4f}")
+
+
+def cmd_rate(args: argparse.Namespace) -> int:
+    channels = load_channels(args.channels, args.channel)
+    print(f"n = {channels.n} channels, total rate = {max_rate(channels):.4f}")
+    print(f"full-utilisation bound (Theorem 2): mu <= {full_utilization_mu_limit(channels):.4f}")
+    if args.mu is not None:
+        print(f"optimal rate at mu = {args.mu}: {optimal_rate(channels, args.mu):.4f} (Theorem 4)")
+    risk, _ = max_privacy_risk(channels)
+    loss, _ = min_loss(channels)
+    delay, _ = min_delay(channels)
+    print(f"extremes: Z_C = {risk:.6f}, L_C = {loss:.3e}, D_C = {delay:.6f}")
+    return 0
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    channels = load_channels(args.channels, args.channel)
+    try:
+        schedule = optimal_schedule(
+            channels,
+            Objective(args.objective),
+            kappa=args.kappa,
+            mu=args.mu,
+            at_max_rate=not args.free,
+            limited=args.limited,
+        )
+    except InfeasibleError as exc:
+        print(f"infeasible: {exc}", file=sys.stderr)
+        return 1
+    _print_schedule(schedule)
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    channels = load_channels(args.channels, args.channel)
+    requirements = Requirements(
+        max_risk=args.max_risk,
+        max_loss=args.max_loss,
+        max_delay=args.max_delay,
+        min_rate=args.min_rate,
+    )
+    try:
+        plan = plan_max_rate(channels, requirements)
+    except NoFeasiblePlanError as exc:
+        print(f"no feasible plan: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"plan: kappa = {plan.kappa}, mu = {plan.mu}, "
+        f"rate = {plan.rate:.4f} symbols/unit"
+    )
+    print(f"risk = {plan.risk:.6f}, loss = {plan.loss:.6f}, delay = {plan.delay:.6f}")
+    _print_schedule(plan.schedule)
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.protocol.config import ProtocolConfig
+    from repro.workloads.iperf import practical_max_rate, run_iperf
+
+    channels = load_channels(args.channels, args.channel)
+    config = ProtocolConfig(kappa=args.kappa, mu=args.mu, share_synthetic=True)
+    offered = args.offered_rate or practical_max_rate(
+        channels, args.mu, config.symbol_size
+    )
+    result = run_iperf(
+        channels,
+        config,
+        offered_rate=offered,
+        duration=args.duration,
+        warmup=args.warmup,
+        seed=args.seed,
+    )
+    optimum = optimal_rate(channels, args.mu)
+    print(f"offered rate   = {offered:.4f} symbols/unit")
+    print(f"achieved rate  = {result.achieved_rate:.4f} symbols/unit")
+    print(f"optimal rate   = {optimum:.4f} symbols/unit (Theorem 4)")
+    print(f"achieved/optimal = {result.achieved_rate / optimum:.4f}")
+    print(f"loss           = {result.loss_percent:.4f}%")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_channel_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--channels", help="JSON file describing the channels")
+        p.add_argument(
+            "--channel",
+            action="append",
+            type=_parse_inline_channel,
+            help="inline channel as 'risk,loss,delay,rate' (repeatable)",
+        )
+
+    rate = sub.add_parser("rate", help="rate theorems and global extremes")
+    add_channel_args(rate)
+    rate.add_argument("--mu", type=float, help="evaluate Theorem 4 at this mu")
+    rate.set_defaults(func=cmd_rate)
+
+    optimize = sub.add_parser("optimize", help="LP-optimal share schedule")
+    add_channel_args(optimize)
+    optimize.add_argument("--kappa", type=float, required=True)
+    optimize.add_argument("--mu", type=float, required=True)
+    optimize.add_argument(
+        "--objective", choices=[o.value for o in Objective], default="privacy"
+    )
+    optimize.add_argument(
+        "--free", action="store_true",
+        help="drop the maximum-rate constraint (Sec. IV-B instead of IV-D)",
+    )
+    optimize.add_argument(
+        "--limited", action="store_true",
+        help="restrict to the M' schedules of Sec. IV-E",
+    )
+    optimize.set_defaults(func=cmd_optimize)
+
+    plan = sub.add_parser("plan", help="fastest plan meeting requirements")
+    add_channel_args(plan)
+    plan.add_argument("--max-risk", type=float)
+    plan.add_argument("--max-loss", type=float)
+    plan.add_argument("--max-delay", type=float)
+    plan.add_argument("--min-rate", type=float)
+    plan.set_defaults(func=cmd_plan)
+
+    simulate = sub.add_parser("simulate", help="measure ReMICSS on the simulator")
+    add_channel_args(simulate)
+    simulate.add_argument("--kappa", type=float, required=True)
+    simulate.add_argument("--mu", type=float, required=True)
+    simulate.add_argument("--offered-rate", type=float)
+    simulate.add_argument("--duration", type=float, default=30.0)
+    simulate.add_argument("--warmup", type=float, default=5.0)
+    simulate.add_argument("--seed", type=int, default=1)
+    simulate.set_defaults(func=cmd_simulate)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, OSError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,89 @@
+"""The paper's analytical model of multichannel secret sharing protocols.
+
+This package is the primary contribution of the reproduced paper
+("Modeling Privacy and Tradeoffs in Multichannel Secret Sharing Protocols",
+DSN 2016), Sections III and IV:
+
+* :mod:`repro.core.channel` -- channels as (z, l, d, r) quadruples and the
+  channel set C (Sec. III-B);
+* :mod:`repro.core.properties` -- the subset privacy/loss/delay formulas
+  z(k, M), l(k, M), d(k, M) (Sec. IV-A);
+* :mod:`repro.core.schedule` -- share schedules p(k, M) with their averages
+  κ and µ and schedule-level Z(p), L(p), D(p) (Sec. III-C, IV-A);
+* :mod:`repro.core.optimal` -- the fully-optimised extremes Z_C, L_C, D_C
+  (Sec. IV-B);
+* :mod:`repro.core.rate` -- the rate theorems 1-4, the fully-utilised set,
+  and the Fig. 2 packing construction (Sec. IV-C);
+* :mod:`repro.core.program` -- the linear programs of Sec. IV-B (optimal
+  property for given κ, µ) and Sec. IV-D (optimal property at maximum
+  rate), plus the limited schedules M' of Sec. IV-E and the Theorem 5
+  construction;
+* :mod:`repro.core.tradeoff` -- frontier sweeps over (κ, µ) used by the
+  experiments and examples.
+"""
+
+from repro.core.channel import Channel, ChannelSet
+from repro.core.optimal import (
+    max_privacy_risk,
+    min_delay,
+    min_loss,
+)
+from repro.core.planner import (
+    NoFeasiblePlanError,
+    Plan,
+    Requirements,
+    constrained_schedule,
+    plan_max_rate,
+)
+from repro.core.program import (
+    Objective,
+    build_program,
+    limited_pairs,
+    optimal_schedule,
+    schedule_pairs,
+    theorem5_schedule,
+)
+from repro.core.properties import subset_delay, subset_loss, subset_risk
+from repro.core.rate import (
+    full_utilization_mu_limit,
+    fully_utilized_set,
+    max_rate,
+    mu_for_target_rate,
+    optimal_rate,
+    pack_schedule,
+    rate_maximizing_schedule,
+)
+from repro.core.schedule import ShareSchedule
+from repro.core.tradeoff import TradeoffPoint, sweep_tradeoffs
+
+__all__ = [
+    "Channel",
+    "ChannelSet",
+    "ShareSchedule",
+    "subset_risk",
+    "subset_loss",
+    "subset_delay",
+    "max_privacy_risk",
+    "min_loss",
+    "min_delay",
+    "max_rate",
+    "optimal_rate",
+    "mu_for_target_rate",
+    "full_utilization_mu_limit",
+    "fully_utilized_set",
+    "rate_maximizing_schedule",
+    "pack_schedule",
+    "Objective",
+    "schedule_pairs",
+    "limited_pairs",
+    "build_program",
+    "optimal_schedule",
+    "theorem5_schedule",
+    "TradeoffPoint",
+    "sweep_tradeoffs",
+    "Requirements",
+    "Plan",
+    "NoFeasiblePlanError",
+    "constrained_schedule",
+    "plan_max_rate",
+]

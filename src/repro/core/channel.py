@@ -1,0 +1,174 @@
+"""Channels and channel sets (Sec. III-B of the paper).
+
+A channel is a quadruple ``(z, l, d, r)``:
+
+* ``z`` in [0, 1] -- risk: probability an adversary observes a share sent
+  on the channel;
+* ``l`` in [0, 1) -- lossiness: probability a share fails to arrive
+  (strictly below 1: a channel that never delivers is excluded from C);
+* ``d`` in [0, inf) -- expected one-way delay of a share, given delivery;
+* ``r`` in (0, inf) -- maximum share rate, in symbols per unit time
+  (strictly positive, same exclusion rule).
+
+The model assumes channels are *disjoint* (Sec. III-B): observations and
+losses on different channels are independent events.  All formulas in
+:mod:`repro.core.properties` and :mod:`repro.core.rate` inherit that
+assumption.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Iterator, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Channel:
+    """One disjoint channel between the two endpoints.
+
+    Attributes:
+        risk: probability ``z`` that an adversary observes a share.
+        loss: probability ``l`` that a share is lost in transit.
+        delay: expected one-way delay ``d`` (unit time), given delivery.
+        rate: maximum share rate ``r`` (symbols per unit time).
+        name: optional human-readable label for reports.
+    """
+
+    risk: float
+    loss: float
+    delay: float
+    rate: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.risk <= 1.0:
+            raise ValueError(f"risk must be in [0, 1], got {self.risk}")
+        if not 0.0 <= self.loss < 1.0:
+            raise ValueError(f"loss must be in [0, 1), got {self.loss}")
+        if not (0.0 <= self.delay and math.isfinite(self.delay)):
+            raise ValueError(f"delay must be finite and >= 0, got {self.delay}")
+        if not (self.rate > 0.0 and math.isfinite(self.rate)):
+            raise ValueError(f"rate must be finite and > 0, got {self.rate}")
+
+
+class ChannelSet:
+    """An ordered set C of disjoint channels, indexed ``0..n-1``.
+
+    The paper writes channels as an unordered set; we fix an order so that
+    subsets M can be represented compactly as frozensets of indices and so
+    that vectors (z, l, d, r) line up across the model, the simulator and
+    the experiment reports.
+    """
+
+    def __init__(self, channels: Iterable[Channel]):
+        self._channels: Tuple[Channel, ...] = tuple(channels)
+        if not self._channels:
+            raise ValueError("a channel set must contain at least one channel")
+
+    @classmethod
+    def from_vectors(
+        cls,
+        risks: Sequence[float],
+        losses: Sequence[float],
+        delays: Sequence[float],
+        rates: Sequence[float],
+        names: Sequence[str] = (),
+    ) -> "ChannelSet":
+        """Build a channel set from parallel property vectors.
+
+        All vectors must have the same length; ``names`` may be empty.
+        """
+        lengths = {len(risks), len(losses), len(delays), len(rates)}
+        if len(lengths) != 1:
+            raise ValueError(f"property vectors have inconsistent lengths: {lengths}")
+        if names and len(names) != len(risks):
+            raise ValueError("names must match the number of channels")
+        labels = names or [f"ch{i}" for i in range(len(risks))]
+        return cls(
+            Channel(risk=z, loss=l, delay=d, rate=r, name=label)
+            for z, l, d, r, label in zip(risks, losses, delays, rates, labels)
+        )
+
+    def __len__(self) -> int:
+        return len(self._channels)
+
+    def __iter__(self) -> Iterator[Channel]:
+        return iter(self._channels)
+
+    def __getitem__(self, index: int) -> Channel:
+        return self._channels[index]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ChannelSet) and other._channels == self._channels
+
+    def __hash__(self) -> int:
+        return hash(self._channels)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(
+            f"{c.name}(z={c.risk}, l={c.loss}, d={c.delay}, r={c.rate})"
+            for c in self._channels
+        )
+        return f"ChannelSet([{inner}])"
+
+    @property
+    def n(self) -> int:
+        """Number of channels, ``n = |C|``."""
+        return len(self._channels)
+
+    @property
+    def indices(self) -> FrozenSet[int]:
+        """The full index set ``{0, ..., n-1}``."""
+        return frozenset(range(self.n))
+
+    # -- property vectors ---------------------------------------------------
+
+    @property
+    def risks(self) -> np.ndarray:
+        """The risk vector z as a numpy array."""
+        return np.array([c.risk for c in self._channels])
+
+    @property
+    def losses(self) -> np.ndarray:
+        """The lossiness vector l as a numpy array."""
+        return np.array([c.loss for c in self._channels])
+
+    @property
+    def delays(self) -> np.ndarray:
+        """The delay vector d as a numpy array."""
+        return np.array([c.delay for c in self._channels])
+
+    @property
+    def rates(self) -> np.ndarray:
+        """The rate vector r as a numpy array."""
+        return np.array([c.rate for c in self._channels])
+
+    @property
+    def total_rate(self) -> float:
+        """Sum of all channel rates (the κ = µ = 1 maximum rate R_C)."""
+        return float(self.rates.sum())
+
+    def subset(self, indices: Iterable[int]) -> Tuple[Channel, ...]:
+        """Return the channels selected by ``indices`` (validated)."""
+        members = tuple(self._channels[self._check_index(i)] for i in indices)
+        return members
+
+    def _check_index(self, i: int) -> int:
+        if not 0 <= i < self.n:
+            raise IndexError(f"channel index {i} out of range for n={self.n}")
+        return i
+
+    def validate_subset(self, subset: Iterable[int]) -> FrozenSet[int]:
+        """Validate and canonicalise a channel subset M.
+
+        Raises:
+            ValueError: if the subset is empty.
+            IndexError: if an index is out of range.
+        """
+        canonical = frozenset(self._check_index(i) for i in subset)
+        if not canonical:
+            raise ValueError("channel subset M must be nonempty")
+        return canonical

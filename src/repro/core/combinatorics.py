@@ -1,0 +1,94 @@
+"""Combinatorial helpers: subset enumeration and Poisson-binomial tails.
+
+The subset risk and loss formulas of Sec. IV-A are tail probabilities of
+Poisson binomial distributions (sums of independent, non-identical
+Bernoulli trials).  For the small m the protocol uses, exact subset
+enumeration is affordable, but the O(m^2) dynamic-programming recurrence
+here is both faster and numerically cleaner; tests cross-check the two.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, Iterable, Iterator, Sequence
+
+import numpy as np
+
+
+def subsets_of(items: Iterable[int], min_size: int = 0) -> Iterator[FrozenSet[int]]:
+    """Yield every subset of ``items`` with at least ``min_size`` elements.
+
+    Subsets are yielded in order of increasing size, each as a frozenset.
+    """
+    pool = sorted(items)
+    for size in range(min_size, len(pool) + 1):
+        for combo in combinations(pool, size):
+            yield frozenset(combo)
+
+
+def poisson_binomial_pmf(probs: Sequence[float]) -> np.ndarray:
+    """Exact pmf of the number of successes among independent Bernoulli trials.
+
+    Args:
+        probs: success probability of each trial.
+
+    Returns:
+        Array ``pmf`` of length ``len(probs) + 1`` with
+        ``pmf[j] = P(exactly j successes)``.
+    """
+    pmf = np.zeros(len(probs) + 1)
+    pmf[0] = 1.0
+    for idx, p in enumerate(probs):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"probability out of range: {p}")
+        # Convolve with the two-point distribution of trial idx.
+        pmf[1 : idx + 2] = pmf[1 : idx + 2] * (1.0 - p) + pmf[: idx + 1] * p
+        pmf[0] *= 1.0 - p
+    return pmf
+
+
+def poisson_binomial_tail(probs: Sequence[float], k: int) -> float:
+    """Return ``P(at least k successes)`` for independent Bernoulli trials.
+
+    This is the paper's subset-risk shape: the probability that an
+    adversary observes at least k of the shares, with per-share
+    probabilities ``probs``.
+    """
+    if k <= 0:
+        return 1.0
+    if k > len(probs):
+        return 0.0
+    pmf = poisson_binomial_pmf(probs)
+    return float(pmf[k:].sum())
+
+
+def poisson_binomial_cdf_below(probs: Sequence[float], k: int) -> float:
+    """Return ``P(fewer than k successes)`` for independent Bernoulli trials.
+
+    This is the subset-loss shape: the probability that fewer than k shares
+    survive, with per-share *survival* probabilities ``probs``.
+    """
+    if k <= 0:
+        return 0.0
+    if k > len(probs):
+        return 1.0
+    pmf = poisson_binomial_pmf(probs)
+    return float(pmf[:k].sum())
+
+
+def exact_received_probability(
+    losses: Sequence[float],
+    received: FrozenSet[int],
+    members: Sequence[int],
+) -> float:
+    """Probability that ``received`` is exactly the surviving subset of M.
+
+    Args:
+        losses: loss probability per channel, indexed globally.
+        received: indices of channels whose share arrived.
+        members: all indices of M.
+    """
+    prob = 1.0
+    for i in members:
+        prob *= (1.0 - losses[i]) if i in received else losses[i]
+    return prob

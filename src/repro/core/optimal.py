@@ -1,0 +1,72 @@
+"""Fully-optimised privacy, loss and delay (Sec. IV-B of the paper).
+
+When κ and µ may be chosen freely, each property can be driven to its
+global extreme over the channel set C:
+
+* privacy: κ = µ = n forces the adversary to observe every channel, so the
+  overall risk is ``Z_C = Π z_i``;
+* loss: κ = 1, µ = n adds maximal redundancy, so ``L_C = Π l_i``;
+* delay: κ = 1, µ = n, and the expected delay is the loss-weighted
+  first-arrival average over channels ordered by delay.
+
+Each function returns both the extreme value and (where useful) the
+schedule that attains it, so the experiments can feed these directly into
+the protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.channel import ChannelSet
+from repro.core.schedule import ShareSchedule
+
+
+def max_privacy_risk(channels: ChannelSet) -> Tuple[float, ShareSchedule]:
+    """The minimum achievable overall risk ``Z_C`` and its schedule.
+
+    Maximum privacy (minimum risk) is attained by ``p(n, C) = 1``:
+    ``Z_C = Π_i z_i``.
+    """
+    risk = float(np.prod(channels.risks))
+    schedule = ShareSchedule.singleton(channels, channels.n, channels.indices)
+    return risk, schedule
+
+
+def min_loss(channels: ChannelSet) -> Tuple[float, ShareSchedule]:
+    """The minimum achievable overall loss ``L_C`` and its schedule.
+
+    Maximum redundancy is attained by ``p(1, C) = 1``: ``L_C = Π_i l_i``.
+    """
+    loss = float(np.prod(channels.losses))
+    schedule = ShareSchedule.singleton(channels, 1, channels.indices)
+    return loss, schedule
+
+
+def min_delay(channels: ChannelSet) -> Tuple[float, ShareSchedule]:
+    """The minimum achievable overall delay ``D_C`` and its schedule.
+
+    With κ = 1 and µ = n, the symbol arrives with the first surviving
+    share.  Ordering channels by delay (δ ascending, λ the matching loss
+    probabilities), the paper's expression is
+
+        D_C = (1 / (1 - Π l_i)) Σ_a (1 - λ(a)) δ(a) Π_{b<a} λ(b),
+
+    i.e. each channel's delay weighted by the probability that its share
+    arrives and every faster share is lost.  With zero loss this collapses
+    to ``min_i d_i``.
+    """
+    order = np.argsort(channels.delays, kind="stable")
+    delays = channels.delays[order]
+    losses = channels.losses[order]
+    all_lost = float(np.prod(losses))
+    total = 0.0
+    faster_all_lost = 1.0
+    for delta, lam in zip(delays, losses):
+        total += (1.0 - lam) * delta * faster_all_lost
+        faster_all_lost *= lam
+    delay = total / (1.0 - all_lost)
+    schedule = ShareSchedule.singleton(channels, 1, channels.indices)
+    return delay, schedule

@@ -1,0 +1,90 @@
+"""Subset privacy, loss and delay formulas (Sec. IV-A of the paper).
+
+These are the per-symbol expectations for a *fixed* choice of threshold k
+and channel subset M:
+
+* ``z(k, M)`` -- probability the adversary observes at least k shares
+  (the cdf tail of a Poisson binomial over the per-channel risks);
+* ``l(k, M)`` -- probability fewer than k shares arrive;
+* ``d(k, M)`` -- expected time until the k-th share arrives, conditioned on
+  the symbol not being lost (a loss-weighted average of k-th order
+  statistics of the channel delays).
+
+Risk and loss use the O(m^2) Poisson-binomial recurrence; delay requires
+enumerating surviving subsets, which is exact and affordable for the small
+m (<= n) the protocol model permits.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable
+
+from repro.core.channel import ChannelSet
+from repro.core.combinatorics import (
+    exact_received_probability,
+    poisson_binomial_cdf_below,
+    poisson_binomial_tail,
+    subsets_of,
+)
+
+
+def _validated(channels: ChannelSet, k: int, subset: Iterable[int]) -> FrozenSet[int]:
+    members = channels.validate_subset(subset)
+    if not 1 <= k <= len(members):
+        raise ValueError(f"threshold k={k} invalid for |M|={len(members)}")
+    return members
+
+
+def subset_risk(channels: ChannelSet, k: int, subset: Iterable[int]) -> float:
+    """The subset risk ``z(k, M)``.
+
+    Probability that an adversary, observing each channel ``i`` in M
+    independently with probability ``z_i``, sees at least ``k`` of the
+    shares of one symbol -- and can therefore reconstruct it.
+    """
+    members = _validated(channels, k, subset)
+    risks = [channels[i].risk for i in sorted(members)]
+    return poisson_binomial_tail(risks, k)
+
+
+def subset_loss(channels: ChannelSet, k: int, subset: Iterable[int]) -> float:
+    """The subset loss ``l(k, M)``.
+
+    Probability that fewer than ``k`` of the shares of one symbol survive
+    transit, so the symbol cannot be reconstructed.
+    """
+    members = _validated(channels, k, subset)
+    survive = [1.0 - channels[i].loss for i in sorted(members)]
+    return poisson_binomial_cdf_below(survive, k)
+
+
+def kth_smallest_delay(channels: ChannelSet, subset: Iterable[int], k: int) -> float:
+    """The order statistic ``delta_S(k)``: k-th smallest delay within S."""
+    delays = sorted(channels[i].delay for i in subset)
+    if not 1 <= k <= len(delays):
+        raise ValueError(f"order statistic k={k} invalid for |S|={len(delays)}")
+    return delays[k - 1]
+
+
+def subset_delay(channels: ChannelSet, k: int, subset: Iterable[int]) -> float:
+    """The subset delay ``d(k, M)``.
+
+    Expected time from transmission to reconstruction of one symbol sent on
+    M with threshold k, conditioned on the symbol not being lost.  This is
+    the loss-probability-weighted average of ``delta_K(k)`` over every
+    surviving subset K of M with ``|K| >= k`` (Sec. IV-A), normalised by
+    ``1 - l(k, M)``.  With zero loss it collapses to ``delta_M(k)``.
+    """
+    members = _validated(channels, k, subset)
+    ordered = sorted(members)
+    losses = channels.losses
+    if all(losses[i] == 0.0 for i in ordered):
+        return kth_smallest_delay(channels, members, k)
+    loss_prob = subset_loss(channels, k, members)
+    total = 0.0
+    for received in subsets_of(ordered, min_size=k):
+        weight = exact_received_probability(losses, received, ordered)
+        if weight == 0.0:
+            continue
+        total += kth_smallest_delay(channels, received, k) * weight
+    return total / (1.0 - loss_prob)

@@ -1,0 +1,180 @@
+"""Optimal multichannel rate: Theorems 1-4 and Corollaries (Sec. IV-C).
+
+The protocol sends one share per channel of M for each symbol, so channel
+i can serve at most ``r_i`` symbols per unit time and no symbol may use a
+channel twice.  These constraints give the paper's central rate results:
+
+* Theorem 1: ``R_C`` is at least the ⌈µ⌉-th highest individual rate.
+* Theorem 2: all channels can be fully utilised iff
+  ``µ <= Σ r_i / max r_j``.
+* Theorem 3: ``µ = Σ min(r_i / R_C, 1)`` at the optimum.
+* Theorem 4: ``R_C = min over S ⊆ C, |S| > n − µ of Σ_{i∈S} r_i / (µ − n + |S|)``.
+
+This module implements each of them, plus the greedy share-packing
+construction of Figure 2, which realises the optimum with an explicit
+assignment of shares to unit-time slots.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.channel import ChannelSet
+from repro.core.combinatorics import subsets_of
+from repro.core.schedule import ShareSchedule
+
+
+def _validate_mu(channels: ChannelSet, mu: float) -> None:
+    if not 1.0 <= mu <= channels.n + 1e-12:
+        raise ValueError(f"µ must be within [1, n]={channels.n}, got {mu}")
+
+
+def max_rate(channels: ChannelSet) -> float:
+    """The unconstrained maximum rate (κ = µ = 1): ``R_C = Σ r_i``."""
+    return channels.total_rate
+
+
+def rate_maximizing_schedule(channels: ChannelSet) -> ShareSchedule:
+    """The κ = µ = 1 schedule achieving ``R_C = Σ r_i`` (Sec. IV-C).
+
+    Each symbol is sent as a single share on one channel, chosen with
+    probability proportional to that channel's rate -- the MPTCP-like
+    throughput-maximising behaviour.
+    """
+    total = channels.total_rate
+    probs = {
+        (1, frozenset({i})): channels[i].rate / total for i in range(channels.n)
+    }
+    return ShareSchedule(channels, probs)
+
+
+def theorem1_lower_bound(channels: ChannelSet, mu: float) -> float:
+    """Theorem 1: the rate of the ⌈µ⌉-th highest-rate channel."""
+    _validate_mu(channels, mu)
+    descending = np.sort(channels.rates)[::-1]
+    return float(descending[int(np.ceil(mu - 1e-12)) - 1])
+
+
+def full_utilization_mu_limit(channels: ChannelSet) -> float:
+    """Theorem 2: the largest µ at which every channel can be fully used.
+
+    ``µ <= Σ r_i / max r_j``; for identical channels this is n
+    (Corollary 1), so any valid µ fully utilises the set.
+    """
+    rates = channels.rates
+    return float(rates.sum() / rates.max())
+
+
+def optimal_rate(channels: ChannelSet, mu: float) -> float:
+    """Theorem 4: the optimal multichannel rate for average multiplicity µ.
+
+    Evaluated efficiently: for each admissible subset size s, the
+    minimising subset is the s lowest-rate channels, so only n candidates
+    need to be examined (the brute-force subset minimisation is kept in
+    :func:`optimal_rate_bruteforce` as a test oracle).
+    """
+    _validate_mu(channels, mu)
+    n = channels.n
+    ascending = np.sort(channels.rates)
+    prefix = np.concatenate(([0.0], np.cumsum(ascending)))
+    best = np.inf
+    for size in range(1, n + 1):
+        if size <= n - mu:
+            continue
+        candidate = prefix[size] / (mu - n + size)
+        best = min(best, candidate)
+    return float(best)
+
+
+def optimal_rate_bruteforce(channels: ChannelSet, mu: float) -> float:
+    """Theorem 4 evaluated literally over every subset (test oracle)."""
+    _validate_mu(channels, mu)
+    n = channels.n
+    rates = channels.rates
+    best = np.inf
+    for subset in subsets_of(range(n), min_size=1):
+        if len(subset) <= n - mu:
+            continue
+        candidate = sum(rates[i] for i in subset) / (mu - n + len(subset))
+        best = min(best, candidate)
+    return float(best)
+
+
+def mu_for_target_rate(channels: ChannelSet, target_rate: float) -> float:
+    """Theorem 3 applied in reverse: the largest µ sustaining ``target_rate``.
+
+    ``µ = Σ min(r_i / R_C, 1)`` is decreasing in ``R_C``, so evaluating it
+    at the target rate gives the highest µ for which the overall rate is at
+    least the target (Sec. IV-C discussion).
+    """
+    if target_rate <= 0:
+        raise ValueError(f"target rate must be positive, got {target_rate}")
+    rates = channels.rates
+    return float(np.minimum(rates / target_rate, 1.0).sum())
+
+
+def fully_utilized_set(channels: ChannelSet, mu: float) -> FrozenSet[int]:
+    """Definition 1: the set ``A = {i : r_i <= R_C}`` of fully-used channels.
+
+    By Corollary 2, ``|A| > n − µ``.
+    """
+    rate = optimal_rate(channels, mu)
+    return frozenset(
+        i for i in range(channels.n) if channels[i].rate <= rate + 1e-9
+    )
+
+
+def optimal_channel_usage(channels: ChannelSet, mu: float) -> np.ndarray:
+    """Per-channel usage ``min(r_i / R_C, 1)`` at the optimal rate.
+
+    This is the right-hand side of the maximum-rate constraints in the
+    Sec. IV-D linear program: the proportion of symbols whose subset M
+    must contain channel i for the schedule to achieve ``R_C``.
+    """
+    rate = optimal_rate(channels, mu)
+    return np.minimum(channels.rates / rate, 1.0)
+
+
+def pack_schedule(
+    rates: Sequence[int],
+    multiplicity: int,
+) -> Tuple[List[FrozenSet[int]], List[int]]:
+    """The Figure 2 greedy packing of shares into one unit time.
+
+    Given integer channel capacities and a fixed multiplicity m, repeatedly
+    choose the m channels with the most remaining capacity (ties broken by
+    lower index) and spend one share on each, until fewer than m channels
+    have capacity left.  This water-filling strategy realises the optimal
+    symbol count ``⌊R_C⌋`` from Theorem 4 for integer inputs.
+
+    Args:
+        rates: integer capacity of each channel over one unit time.
+        multiplicity: shares per symbol (the paper's m; 1 <= m <= n).
+
+    Returns:
+        ``(columns, used)`` where ``columns[t]`` is the channel subset used
+        for the t-th symbol and ``used[i]`` is the total number of shares
+        sent on channel i.
+    """
+    if any(r < 0 for r in rates):
+        raise ValueError("rates must be nonnegative integers")
+    if not 1 <= multiplicity <= len(rates):
+        raise ValueError(
+            f"multiplicity must be within [1, {len(rates)}], got {multiplicity}"
+        )
+    remaining = list(rates)
+    columns: List[FrozenSet[int]] = []
+    while True:
+        available = [i for i, cap in enumerate(remaining) if cap >= 1]
+        if len(available) < multiplicity:
+            break
+        # Most remaining capacity first; ties by channel index.
+        available.sort(key=lambda i: (-remaining[i], i))
+        chosen = frozenset(available[:multiplicity])
+        for i in chosen:
+            remaining[i] -= 1
+        columns.append(chosen)
+    used = [original - left for original, left in zip(rates, remaining)]
+    return columns, used

@@ -1,0 +1,28 @@
+"""Figure-by-figure reproduction drivers (Sec. VI of the paper).
+
+One module per evaluation figure:
+
+* :mod:`repro.experiments.fig2` -- the share-packing construction with
+  rates (3, 4, 8);
+* :mod:`repro.experiments.fig3` -- optimal vs achieved rate over (κ, µ)
+  on the Identical and Diverse setups;
+* :mod:`repro.experiments.fig4` -- optimal vs actual delay at maximum
+  rate on the Delayed setup;
+* :mod:`repro.experiments.fig5` -- loss at maximum rate on the Lossy
+  setup;
+* :mod:`repro.experiments.fig67` -- rate under increasing channel
+  capacity with end-system (CPU) bottlenecks, for µ = 1 (Fig. 6) and
+  µ = 5 with varying κ (Fig. 7).
+
+Each driver returns plain row dictionaries and has a ``quick`` mode with a
+coarser sweep used by the benchmark suite; ``python -m repro.experiments.runner``
+runs everything and prints the paper-matching series.
+"""
+
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig67 import run_fig6, run_fig7
+
+__all__ = ["run_fig2", "run_fig3", "run_fig4", "run_fig5", "run_fig6", "run_fig7"]

@@ -1,0 +1,83 @@
+"""CSV export of experiment series (for external plotting).
+
+The drivers return plain row dictionaries; this module writes them as CSV
+with a stable column order, one file per figure, so the paper's plots can
+be regenerated with any plotting tool.  ``python -m repro.experiments.export``
+runs every figure in quick mode and drops the CSVs into ``results/``.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Mapping, Sequence
+
+
+def write_rows(
+    path: str,
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] = None,
+) -> int:
+    """Write row dicts to ``path`` as CSV; returns the row count.
+
+    Columns default to the union of keys in first-seen order (excluding
+    values that are not scalars, e.g. Figure 2's column lists).
+    """
+    if not rows:
+        raise ValueError("no rows to export")
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key, value in row.items():
+                if key not in columns and isinstance(value, (int, float, str, bool)):
+                    columns.append(key)
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(columns), extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({key: row.get(key, "") for key in columns})
+    return len(rows)
+
+
+def export_all(output_dir: str = "results", quick: bool = True) -> "dict[str, int]":
+    """Run every figure driver and export its series to CSV.
+
+    Returns a mapping of output path to row count.
+    """
+    from repro.experiments.fig2 import run_fig2
+    from repro.experiments.fig3 import run_fig3
+    from repro.experiments.fig4 import run_fig4
+    from repro.experiments.fig5 import run_fig5
+    from repro.experiments.fig67 import run_fig6, run_fig7
+
+    written = {}
+
+    def save(name: str, rows) -> None:
+        path = os.path.join(output_dir, name)
+        written[path] = write_rows(path, rows)
+
+    save("fig2_packing.csv", run_fig2())
+    save("fig3_rate_identical.csv", run_fig3(setup="identical", quick=quick))
+    save("fig3_rate_diverse.csv", run_fig3(setup="diverse", quick=quick))
+    save("fig4_delay.csv", run_fig4(quick=quick))
+    save("fig5_loss.csv", run_fig5(quick=quick))
+    save("fig6_highbw.csv", run_fig6(quick=quick))
+    save("fig7_highbw.csv", run_fig7(quick=quick))
+    return written
+
+
+def main() -> None:  # pragma: no cover - thin CLI wrapper
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="results", help="output directory")
+    parser.add_argument("--full", action="store_true", help="full-resolution sweeps")
+    args = parser.parse_args()
+    written = export_all(args.output, quick=not args.full)
+    for path, count in written.items():
+        print(f"wrote {count:>4} rows to {path}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,102 @@
+"""Figure 5: loss at maximum rate on the Lossy setup.
+
+The paper's second experiment: with channels in the Lossy configuration
+(1, 0.5, 1, 2, 3 percent per direction), traffic is offered at the maximum
+rate for each (κ, µ) and the receiver-side datagram loss percentage is
+compared against the optimal loss computed by the Sec. IV-D linear program
+(minimise L(p) subject to the maximum-rate utilisation constraints).
+
+The paper observes the actual loss tracking the optimum closely for most
+parameters, with implementation-specific spikes (e.g. κ=3, µ=3.8) caused
+by the dynamic channel-selection heuristic interacting badly with the
+specific channel proportions; the "fixed" selector ordering reproduces
+that pathology more strongly (see the ablation benchmark).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.program import Objective, optimal_property_value
+from repro.core.rate import optimal_rate
+from repro.core.tradeoff import mu_grid
+from repro.lp import InfeasibleError
+from repro.protocol.config import ProtocolConfig
+from repro.workloads.iperf import practical_max_rate, run_iperf
+from repro.workloads.setups import lossy_setup
+
+
+def run_fig5(
+    kappas: Sequence[float] = (1.0, 2.0, 3.0, 4.0, 5.0),
+    mu_step: float = 0.1,
+    duration: float = 30.0,
+    warmup: float = 5.0,
+    seed: int = 2,
+    quick: bool = False,
+    selector_ordering: str = "headroom",
+) -> List[Dict[str, float]]:
+    """Measure loss at maximum rate across the (κ, µ) grid.
+
+    Returns:
+        Rows with κ, µ, the LP-optimal loss percentage and the measured
+        loss percentage (receiver-side, excluding sender source drops).
+    """
+    if quick:
+        mu_step = max(mu_step, 0.5)
+        duration = min(duration, 10.0)
+        warmup = min(warmup, 2.0)
+    channels = lossy_setup()
+    rows = []
+    for kappa in kappas:
+        for mu in mu_grid(kappa, channels.n, mu_step):
+            try:
+                optimal_loss = optimal_property_value(
+                    channels, Objective.LOSS, kappa, mu, at_max_rate=True
+                )
+            except InfeasibleError:  # pragma: no cover - grid is feasible
+                continue
+            config = ProtocolConfig(
+                kappa=kappa,
+                mu=mu,
+                share_synthetic=True,
+                selector_ordering=selector_ordering,
+                # Loss runs complete symbols out of order; keep eviction
+                # generous so slow shares are not miscounted as loss.
+                reassembly_timeout=10.0,
+            )
+            result = run_iperf(
+                channels,
+                config,
+                # The paper offers at the rate *measured* in experiment 1,
+                # i.e. the protocol's achievable (header-adjusted) rate.
+                offered_rate=practical_max_rate(channels, mu, config.symbol_size),
+                duration=duration,
+                warmup=warmup,
+                seed=seed + int(kappa * 1000) + int(mu * 10),
+            )
+            rows.append(
+                {
+                    "kappa": kappa,
+                    "mu": mu,
+                    "optimal_loss_pct": 100.0 * optimal_loss,
+                    "actual_loss_pct": result.loss_percent,
+                    "achieved_rate": result.achieved_rate,
+                }
+            )
+    return rows
+
+
+def main(quick: bool = False) -> None:  # pragma: no cover - exercised via runner
+    from repro.experiments.reporting import rows_to_table
+
+    rows = run_fig5(quick=quick)
+    print("\nFigure 5: loss at maximum rate (Lossy setup)")
+    print(
+        rows_to_table(
+            rows, ["kappa", "mu", "optimal_loss_pct", "actual_loss_pct"], precision=3
+        )
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main(quick=True)

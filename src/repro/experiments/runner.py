@@ -1,0 +1,47 @@
+"""Run every figure reproduction and print the paper-matching series.
+
+Usage::
+
+    python -m repro.experiments.runner            # full sweeps (slow)
+    python -m repro.experiments.runner --quick    # coarse sweeps (~minutes)
+
+The output is the text-table equivalent of the paper's Figures 2-7; the
+shape comparisons recorded in EXPERIMENTS.md come from this runner.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.experiments import fig2, fig3, fig4, fig5, fig67
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="coarse sweeps for a fast end-to-end pass"
+    )
+    parser.add_argument(
+        "--only",
+        choices=["fig2", "fig3", "fig4", "fig5", "fig6", "fig7"],
+        help="run a single figure reproduction",
+    )
+    args = parser.parse_args()
+
+    started = time.time()
+    if args.only in (None, "fig2"):
+        fig2.main()
+    if args.only in (None, "fig3"):
+        fig3.main(quick=args.quick)
+    if args.only in (None, "fig4"):
+        fig4.main(quick=args.quick)
+    if args.only in (None, "fig5"):
+        fig5.main(quick=args.quick)
+    if args.only in (None, "fig6", "fig7"):
+        fig67.main(quick=args.quick)
+    print(f"\ntotal wall time: {time.time() - started:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

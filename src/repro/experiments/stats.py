@@ -1,0 +1,96 @@
+"""Replication and confidence intervals for experiment results.
+
+A simulator makes replication cheap: the same experiment re-run under
+independent random streams gives an honest error bar for every measured
+point.  The figure drivers are deterministic given a seed, so replication
+here just forks the seed; :func:`replicate` runs a measurement callable
+over several seeds and summarises with a Student-t confidence interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+
+@dataclass(frozen=True)
+class ReplicatedValue:
+    """A measurement replicated across independent seeds.
+
+    Attributes:
+        mean: sample mean.
+        half_width: half-width of the confidence interval (0 for a single
+            replication).
+        values: the raw per-seed values.
+        confidence: the confidence level the interval was built at.
+    """
+
+    mean: float
+    half_width: float
+    values: "tuple[float, ...]"
+    confidence: float
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the confidence interval."""
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.4f} ± {self.half_width:.4f}"
+
+
+def summarize(values: Sequence[float], confidence: float = 0.95) -> ReplicatedValue:
+    """Student-t confidence interval over replicated measurements.
+
+    Raises:
+        ValueError: on an empty sample or a bad confidence level.
+    """
+    if len(values) == 0:
+        raise ValueError("need at least one measurement")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    array = np.asarray(values, dtype=float)
+    mean = float(array.mean())
+    if len(array) == 1:
+        return ReplicatedValue(mean, 0.0, tuple(array), confidence)
+    sem = float(array.std(ddof=1) / np.sqrt(len(array)))
+    if sem == 0.0:
+        return ReplicatedValue(mean, 0.0, tuple(array), confidence)
+    t_crit = float(scipy_stats.t.ppf((1.0 + confidence) / 2.0, df=len(array) - 1))
+    return ReplicatedValue(mean, t_crit * sem, tuple(array), confidence)
+
+
+def replicate(
+    measure: Callable[[int], float],
+    seeds: Sequence[int],
+    confidence: float = 0.95,
+) -> ReplicatedValue:
+    """Run ``measure(seed)`` once per seed and summarise.
+
+    Args:
+        measure: callable mapping a seed to one scalar measurement.
+        seeds: independent seeds (each should derive independent random
+            streams inside the measurement; the drivers do this through
+            :class:`repro.netsim.rng.RngRegistry`).
+        confidence: the confidence level of the reported interval.
+    """
+    values: List[float] = [float(measure(seed)) for seed in seeds]
+    return summarize(values, confidence=confidence)
+
+
+def seeds_for(base_seed: int, count: int) -> List[int]:
+    """Well-separated replication seeds derived from one base seed."""
+    if count < 1:
+        raise ValueError("count must be positive")
+    seq = np.random.SeedSequence(base_seed)
+    return [int(child.generate_state(1)[0]) for child in seq.spawn(count)]

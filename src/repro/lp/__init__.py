@@ -1,0 +1,33 @@
+"""Linear programming substrate.
+
+The paper's optimal share schedules (Sec. IV-B and IV-D) are computed by
+linear programs over the schedule probabilities ``p(k, M)``.  This package
+provides:
+
+* :class:`~repro.lp.interface.LinearProgram` -- a standard-form problem
+  description (minimise ``c @ x`` subject to ``A_eq @ x = b_eq``,
+  ``x >= 0``), which is exactly the shape of every program in the paper;
+* :mod:`repro.lp.simplex` -- a from-scratch two-phase dense simplex solver
+  with Bland's anti-cycling rule (no external dependencies);
+* :mod:`repro.lp.scipy_backend` -- a thin wrapper over
+  ``scipy.optimize.linprog`` (HiGHS), used as a cross-check and as a faster
+  backend for large sweeps.
+
+The two backends are cross-validated against each other in the test suite.
+"""
+
+from repro.lp.interface import (
+    InfeasibleError,
+    LinearProgram,
+    LPSolution,
+    UnboundedError,
+    solve,
+)
+
+__all__ = [
+    "LinearProgram",
+    "LPSolution",
+    "InfeasibleError",
+    "UnboundedError",
+    "solve",
+]

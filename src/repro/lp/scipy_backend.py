@@ -1,0 +1,47 @@
+"""LP backend that delegates to ``scipy.optimize.linprog`` (HiGHS).
+
+Used both as a cross-check for the from-scratch simplex solver and as the
+default backend for large parameter sweeps, where HiGHS is faster.
+"""
+
+from __future__ import annotations
+
+from scipy.optimize import linprog
+
+from repro.lp.interface import (
+    InfeasibleError,
+    LinearProgram,
+    LPSolution,
+    UnboundedError,
+)
+
+
+def solve_scipy(problem: LinearProgram) -> LPSolution:
+    """Solve a standard-form LP via HiGHS.
+
+    Raises:
+        InfeasibleError: no feasible point exists.
+        UnboundedError: the objective is unbounded below.
+        RuntimeError: any other solver failure.
+    """
+    result = linprog(
+        c=problem.c,
+        A_eq=problem.a_eq,
+        b_eq=problem.b_eq,
+        A_ub=problem.a_ub,
+        b_ub=problem.b_ub,
+        bounds=[(0, None)] * problem.num_vars,
+        method="highs",
+    )
+    if result.status == 2:
+        raise InfeasibleError(f"no feasible schedule exists: {result.message}")
+    if result.status == 3:
+        raise UnboundedError(f"objective is unbounded below: {result.message}")
+    if not result.success:  # pragma: no cover - defensive
+        raise RuntimeError(f"linprog failed: {result.message}")
+    return LPSolution(
+        x=result.x,
+        objective=float(result.fun),
+        backend="scipy",
+        iterations=int(getattr(result, "nit", 0)),
+    )

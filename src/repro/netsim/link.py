@@ -1,0 +1,259 @@
+"""Unidirectional links: rate shaping, loss and delay emulation.
+
+Each link mimics one direction of one testbed channel:
+
+* **serialisation** at a configured byte rate -- the Hierarchical Token
+  Bucket rate limit of the paper's setup (a dedicated, work-conserving
+  shaped wire is equivalent to a fixed-rate serialiser with a queue);
+* a **bounded FIFO queue** with tail drop -- the qdisc buffer; its
+  occupancy also drives the *writable* readiness signal used by the
+  dynamic share schedule;
+* **Bernoulli loss** applied after serialisation -- netem's iid loss (the
+  adversary may still have observed a lost share, which is why observation
+  is accounted where the share is *sent*, not where it arrives);
+* **fixed propagation delay** added before delivery -- netem's delay.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Optional
+
+import numpy as np
+
+from repro.netsim.engine import Engine
+from repro.netsim.packet import Datagram
+
+#: Default queue capacity, in packets (mirrors a typical small txqueuelen;
+#: keeping it modest makes readiness feedback responsive, which is what the
+#: dynamic share schedule relies on).
+DEFAULT_QUEUE_LIMIT = 16
+
+
+@dataclass
+class LinkStats:
+    """Counters kept by each link."""
+
+    offered: int = 0  # send() calls
+    queue_drops: int = 0  # rejected by a full queue
+    serialized: int = 0  # finished serialisation onto the wire
+    loss_drops: int = 0  # dropped by the Bernoulli loss process
+    delivered: int = 0  # handed to the receiver callback
+    corruptions: int = 0  # payloads tampered with in transit
+    bytes_offered: int = 0
+    bytes_delivered: int = 0
+
+    def as_dict(self) -> dict:
+        """Counters as a plain dict (for reports and traces)."""
+        return {
+            "offered": self.offered,
+            "queue_drops": self.queue_drops,
+            "serialized": self.serialized,
+            "loss_drops": self.loss_drops,
+            "delivered": self.delivered,
+            "corruptions": self.corruptions,
+            "bytes_offered": self.bytes_offered,
+            "bytes_delivered": self.bytes_delivered,
+        }
+
+
+class Link:
+    """A unidirectional shaped, lossy, delaying link.
+
+    Args:
+        engine: the simulation engine.
+        byte_rate: serialisation rate in bytes per unit time (> 0).
+        loss: iid probability that a serialised packet is dropped.
+        delay: propagation delay added to every surviving packet.
+        rng: random stream for the loss and jitter draws.
+        queue_limit: queue capacity in packets; a send() arriving with the
+            queue full is tail-dropped.
+        jitter: netem-style delay variation: each packet's propagation
+            delay is drawn uniformly from [delay - jitter, delay + jitter]
+            (clamped at zero).  Jitter can reorder packets, exactly as
+            netem does; the protocol's reassembly buffer absorbs this.
+        corruption: probability that a delivered packet's payload is
+            tampered with in transit (one byte flipped) -- the Byzantine
+            channel of the PSMT threat model.  Applies only to packets
+            carrying real payloads.
+        name: label used in traces.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        byte_rate: float,
+        loss: float,
+        delay: float,
+        rng: np.random.Generator,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        jitter: float = 0.0,
+        corruption: float = 0.0,
+        name: str = "",
+    ):
+        if byte_rate <= 0:
+            raise ValueError(f"byte_rate must be positive, got {byte_rate}")
+        if not 0.0 <= loss < 1.0:
+            raise ValueError(f"loss must be in [0, 1), got {loss}")
+        if delay < 0:
+            raise ValueError(f"delay must be nonnegative, got {delay}")
+        if jitter < 0:
+            raise ValueError(f"jitter must be nonnegative, got {jitter}")
+        if not 0.0 <= corruption <= 1.0:
+            raise ValueError(f"corruption must be a probability, got {corruption}")
+        if queue_limit < 1:
+            raise ValueError(f"queue_limit must be at least 1, got {queue_limit}")
+        self.engine = engine
+        self.byte_rate = byte_rate
+        self.loss = loss
+        self.delay = delay
+        self.jitter = jitter
+        self.corruption = corruption
+        self.rng = rng
+        self.queue_limit = queue_limit
+        self.name = name
+        self.stats = LinkStats()
+        self._queue: Deque[Datagram] = deque()
+        self._busy = False
+        self._receiver: Optional[Callable[[Datagram], None]] = None
+        self._writable_watchers: "list[Callable[[], None]]" = []
+        self._transmit_watchers: "list[Callable[[Datagram], None]]" = []
+
+    def set_receiver(self, callback: Callable[[Datagram], None]) -> None:
+        """Register the delivery callback (the far end's receive path)."""
+        self._receiver = callback
+
+    def watch_writable(self, callback: Callable[[], None]) -> None:
+        """Register a callback fired when the queue stops being full.
+
+        This is the level-triggered-to-edge-triggered bridge the sender's
+        epoll-like wait loop needs: it only fires on the full -> not-full
+        transition, i.e. exactly when a blocked sender may make progress.
+        """
+        self._writable_watchers.append(callback)
+
+    def watch_transmit(self, callback: Callable[[Datagram], None]) -> None:
+        """Register a wire tap, fired for every packet put on the wire.
+
+        Taps fire at serialisation time, *before* the loss draw: the
+        paper's threat model observes shares "as they are being sent", so
+        an adversary may capture a share that the receiver never gets.
+        """
+        self._transmit_watchers.append(callback)
+
+    # -- sending --------------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Packets queued, *excluding* the one currently serialising."""
+        return len(self._queue)
+
+    def writable(self) -> bool:
+        """Whether a send() right now would be accepted (epoll's EPOLLOUT)."""
+        return len(self._queue) < self.queue_limit
+
+    def send(self, datagram: Datagram) -> bool:
+        """Offer a datagram to the link.
+
+        Returns:
+            True if queued (or immediately serialising); False if the
+            queue was full and the datagram was dropped.
+        """
+        self.stats.offered += 1
+        self.stats.bytes_offered += datagram.size
+        if not self.writable():
+            self.stats.queue_drops += 1
+            return False
+        if datagram.sent_at < 0:
+            datagram.sent_at = self.engine.now
+        self._queue.append(datagram)
+        if not self._busy:
+            # Kicked from idle: no external full -> writable transition can
+            # have happened, so watchers are not notified.
+            self._start_next(notify=False)
+        return True
+
+    # -- internal pipeline -----------------------------------------------------
+
+    def _start_next(self, notify: bool = True) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        was_full = len(self._queue) >= self.queue_limit
+        datagram = self._queue.popleft()
+        serialisation_time = datagram.size / self.byte_rate
+        self.engine.schedule(serialisation_time, self._finish_serialisation, datagram)
+        if notify and was_full:
+            for watcher in self._writable_watchers:
+                watcher()
+
+    def _finish_serialisation(self, datagram: Datagram) -> None:
+        self.stats.serialized += 1
+        for tap in self._transmit_watchers:
+            tap(datagram)
+        if self.loss > 0.0 and self.rng.random() < self.loss:
+            self.stats.loss_drops += 1
+        else:
+            delay = self.delay
+            if self.jitter > 0.0:
+                delay = max(0.0, delay + self.rng.uniform(-self.jitter, self.jitter))
+            self.engine.schedule(delay, self._deliver, datagram)
+        self._start_next()
+
+    def _deliver(self, datagram: Datagram) -> None:
+        self.stats.delivered += 1
+        self.stats.bytes_delivered += datagram.size
+        if (
+            self.corruption > 0.0
+            and datagram.payload is not None
+            and len(datagram.payload) > 0
+            and self.rng.random() < self.corruption
+        ):
+            datagram = self._tamper(datagram)
+            self.stats.corruptions += 1
+        if self._receiver is not None:
+            self._receiver(datagram)
+
+    def _tamper(self, datagram: Datagram) -> Datagram:
+        """Flip one payload byte (never a no-op: XOR with a nonzero value)."""
+        payload = bytearray(datagram.payload)
+        position = int(self.rng.integers(0, len(payload)))
+        payload[position] ^= int(self.rng.integers(1, 256))
+        return Datagram(
+            size=datagram.size,
+            payload=bytes(payload),
+            sent_at=datagram.sent_at,
+            meta=datagram.meta,
+        )
+
+
+class DuplexChannel:
+    """A bidirectional channel: two independent links with shared shaping.
+
+    The paper's testbed applies rate, loss and delay *in each direction*;
+    the echo (delay) experiment depends on both directions being shaped.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        byte_rate: float,
+        loss: float,
+        delay: float,
+        forward_rng: np.random.Generator,
+        reverse_rng: np.random.Generator,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        jitter: float = 0.0,
+        name: str = "",
+    ):
+        self.name = name
+        self.forward = Link(
+            engine, byte_rate, loss, delay, forward_rng, queue_limit,
+            jitter=jitter, name=f"{name}:fwd",
+        )
+        self.reverse = Link(
+            engine, byte_rate, loss, delay, reverse_rng, queue_limit,
+            jitter=jitter, name=f"{name}:rev",
+        )

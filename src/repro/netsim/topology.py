@@ -1,0 +1,280 @@
+"""Multi-hop simulated networks: channels as routed paths over shared links.
+
+:class:`~repro.protocol.remicss.PointToPointNetwork` wires each model
+channel to its own dedicated duplex link -- the paper's testbed, where the
+disjointness assumption holds by construction.  This module builds the
+*general* case: a network graph whose edges are simulated links, and
+channels that are store-and-forward paths across them.  Paths may share
+edges, in which case they compete for the shared link's queue and capacity
+and a single wire tap observes all of them -- the exact situation
+Sec. III-B warns about and :mod:`repro.core.overlap` analyses.
+
+Components:
+
+* :class:`TopologyNetwork` -- builds one directed :class:`~repro.netsim.link.Link`
+  per used edge direction and routes datagrams hop by hop along each path;
+* :class:`PathPort` -- the endpoint abstraction; duck-compatible with
+  :class:`~repro.netsim.ports.ChannelPort` so the unmodified protocol
+  sender/receiver stack runs over routed paths;
+* :class:`EdgeTapAdversary` -- taps *edges* (one Bernoulli draw per edge
+  per symbol, so shares of the same symbol crossing a shared edge are
+  observed together), providing the empirical ground truth for
+  :func:`repro.core.overlap.joint_subset_risk`.
+
+Edge attributes consumed: ``rate`` (symbols/unit, required), ``loss``,
+``delay``, ``risk`` (optional, default 0).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.core.overlap import path_edges
+from repro.netsim.engine import Engine
+from repro.netsim.link import Link
+from repro.netsim.packet import Datagram
+from repro.netsim.rng import RngRegistry
+
+#: A directed edge (ordered node pair).
+DirectedEdge = Tuple[Hashable, Hashable]
+
+
+class PathPort:
+    """A sendable/receivable endpoint over a routed multi-hop path.
+
+    Implements the same surface as :class:`~repro.netsim.ports.ChannelPort`
+    (``index``, ``writable``, ``headroom``, ``send``, ``on_receive`` and a
+    ``link`` whose ``watch_writable`` works), where readiness refers to the
+    *first hop* -- which is what a sender's epoll on its local interface
+    would see in a real deployment.
+    """
+
+    def __init__(self, index: int, first_link: Link, network: "TopologyNetwork"):
+        self.index = index
+        self.link = first_link
+        self._network = network
+        self._on_receive: Optional[Callable[[Datagram], None]] = None
+
+    @property
+    def name(self) -> str:
+        return f"path{self.index}"
+
+    def writable(self) -> bool:
+        return self.link.writable()
+
+    @property
+    def headroom(self) -> int:
+        return self.link.queue_limit - self.link.queue_depth
+
+    def send(self, datagram: Datagram) -> bool:
+        datagram.meta["_path"] = self.index
+        datagram.meta["_hop"] = 0
+        return self.link.send(datagram)
+
+    def on_receive(self, callback: Callable[[Datagram], None]) -> None:
+        self._on_receive = callback
+
+    def _deliver(self, datagram: Datagram) -> None:
+        if self._on_receive is not None:
+            self._on_receive(datagram)
+
+
+class TopologyNetwork:
+    """A simulated network over a graph, with channels as routed paths.
+
+    Args:
+        graph: undirected graph; edges carry rate/loss/delay (and risk for
+            adversaries).  Rates are in symbols per unit time.
+        paths: one node path per channel, all sharing the same two
+            endpoints (first and last node of every path).
+        symbol_size: protocol symbol payload size in bytes.
+        rng_registry: random streams for per-link loss/jitter draws.
+        queue_limit: per-link queue capacity in packets.
+
+    Attributes:
+        forward_ports: one :class:`PathPort` per path, endpoint A -> B.
+        reverse_ports: the same paths reversed, endpoint B -> A.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        paths: Sequence[Sequence[Hashable]],
+        symbol_size: int,
+        rng_registry: RngRegistry,
+        queue_limit: int = 16,
+    ):
+        if not paths:
+            raise ValueError("need at least one path")
+        sources = {tuple(path)[0] for path in paths}
+        sinks = {tuple(path)[-1] for path in paths}
+        if len(sources) != 1 or len(sinks) != 1:
+            raise ValueError("all paths must share the same two endpoints")
+        self.engine = Engine()
+        self.graph = graph
+        self.paths = [list(path) for path in paths]
+        self.symbol_size = symbol_size
+        self._links: Dict[DirectedEdge, Link] = {}
+        self._registry = rng_registry
+        self._queue_limit = queue_limit
+        # Per (path index, direction): the directed link chain.
+        self._forward_chains = [self._build_chain(path) for path in self.paths]
+        self._reverse_chains = [
+            self._build_chain(list(reversed(path))) for path in self.paths
+        ]
+        self.forward_ports = [
+            PathPort(i, chain[0], self) for i, chain in enumerate(self._forward_chains)
+        ]
+        self.reverse_ports = [
+            PathPort(i, chain[0], self) for i, chain in enumerate(self._reverse_chains)
+        ]
+        self.forwarding_drops = 0
+
+    # -- construction ------------------------------------------------------------
+
+    def _link_for(self, u: Hashable, v: Hashable) -> Link:
+        key = (u, v)
+        if key not in self._links:
+            if not self.graph.has_edge(u, v):
+                raise ValueError(f"path uses nonexistent edge {u!r}-{v!r}")
+            data = self.graph.edges[u, v]
+            if "rate" not in data:
+                raise KeyError(f"edge {u!r}-{v!r} is missing the 'rate' attribute")
+            link = Link(
+                self.engine,
+                byte_rate=float(data["rate"]) * self.symbol_size,
+                loss=float(data.get("loss", 0.0)),
+                delay=float(data.get("delay", 0.0)),
+                rng=self._registry.stream(f"edge.{u}.{v}.loss"),
+                queue_limit=self._queue_limit,
+                name=f"{u}->{v}",
+            )
+            link.set_receiver(lambda dg, k=key: self._on_link_delivery(k, dg))
+            self._links[key] = link
+        return self._links[key]
+
+    def _build_chain(self, path: Sequence[Hashable]) -> List[Link]:
+        if len(path) < 2:
+            raise ValueError("a path needs at least two nodes")
+        return [self._link_for(u, v) for u, v in zip(path, path[1:])]
+
+    # -- forwarding --------------------------------------------------------------
+
+    def _chain(self, path_index: int, reverse: bool) -> List[Link]:
+        chains = self._reverse_chains if reverse else self._forward_chains
+        return chains[path_index]
+
+    def _on_link_delivery(self, key: DirectedEdge, datagram: Datagram) -> None:
+        path_index = datagram.meta.get("_path")
+        hop = datagram.meta.get("_hop", 0)
+        if path_index is None:  # pragma: no cover - foreign traffic
+            return
+        # The direction is recoverable from which chain holds this link at
+        # this hop; forward and reverse chains never share directed links
+        # at the same hop for the same path unless the path is symmetric,
+        # in which case either resolution is equivalent.
+        for reverse in (False, True):
+            chain = self._chain(path_index, reverse)
+            if hop < len(chain) and self._links.get(key) is chain[hop]:
+                if hop + 1 == len(chain):
+                    ports = self.reverse_ports if reverse else self.forward_ports
+                    # Delivery at the far endpoint: forward traffic lands at
+                    # the B side, whose receive hook is registered on the
+                    # *forward* port object.
+                    ports[path_index]._deliver(datagram)
+                else:
+                    datagram.meta["_hop"] = hop + 1
+                    if not chain[hop + 1].send(datagram):
+                        self.forwarding_drops += 1
+                return
+
+    # -- convenience ---------------------------------------------------------------
+
+    @property
+    def links(self) -> Dict[DirectedEdge, Link]:
+        """All instantiated directed links, keyed by (u, v)."""
+        return dict(self._links)
+
+    def node_pair(self, config, rng_registry, **kwargs):
+        """Build a ReMICSS node pair over this topology.
+
+        Same contract as
+        :meth:`repro.protocol.remicss.PointToPointNetwork.node_pair`.
+        """
+        from repro.protocol.remicss import RemicssNode
+
+        node_a = RemicssNode(
+            self.engine,
+            ports_out=self.forward_ports,
+            ports_in=self.reverse_ports,
+            config=config,
+            rng_registry=rng_registry,
+            name="nodeA",
+            **kwargs,
+        )
+        node_b = RemicssNode(
+            self.engine,
+            ports_out=self.reverse_ports,
+            ports_in=self.forward_ports,
+            config=config,
+            rng_registry=rng_registry,
+            name="nodeB",
+            **kwargs,
+        )
+        return node_a, node_b
+
+
+class EdgeTapAdversary:
+    """An adversary tapping graph *edges*, one draw per edge per symbol.
+
+    Matches the threat model of :mod:`repro.core.overlap`: for each symbol,
+    each edge is independently tapped with its ``risk`` attribute, and a
+    tapped edge reveals *every* share of that symbol crossing it (in either
+    direction).  Correlation across overlapping paths therefore emerges
+    naturally, unlike the per-channel model.
+    """
+
+    def __init__(self, network: TopologyNetwork, rng):
+        self.network = network
+        self.rng = rng
+        self.shares_observed = 0
+        self._tap_cache: Dict[Tuple[Hashable, Hashable, int], bool] = {}
+        self._observed: Dict[int, set] = {}
+        self._thresholds: Dict[int, int] = {}
+        self.compromised: "set[int]" = set()
+        for key, link in network.links.items():
+            link.watch_transmit(lambda dg, k=key: self._observe(k, dg))
+
+    def _edge_tapped(self, key: DirectedEdge, seq: int) -> bool:
+        u, v = key
+        canonical = (u, v) if repr(u) <= repr(v) else (v, u)
+        cache_key = (canonical[0], canonical[1], seq)
+        if cache_key not in self._tap_cache:
+            risk = float(self.network.graph.edges[canonical].get("risk", 0.0))
+            self._tap_cache[cache_key] = bool(self.rng.random() < risk)
+        return self._tap_cache[cache_key]
+
+    def _observe(self, key: DirectedEdge, datagram: Datagram) -> None:
+        seq = datagram.meta.get("seq")
+        k = datagram.meta.get("k")
+        index = datagram.meta.get("index")
+        if seq is None or k is None:
+            return
+        if not self._edge_tapped(key, seq):
+            return
+        observed = self._observed.setdefault(seq, set())
+        if index in observed:
+            return  # the same share seen on a second tapped hop
+        observed.add(index)
+        self.shares_observed += 1
+        self._thresholds[seq] = k
+        if len(observed) >= k:
+            self.compromised.add(seq)
+
+    def compromise_rate(self, symbols_sent: int) -> float:
+        """Fraction of sent symbols whose threshold was met."""
+        if symbols_sent <= 0:
+            raise ValueError("symbols_sent must be positive")
+        return len(self.compromised) / symbols_sent

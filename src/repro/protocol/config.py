@@ -1,0 +1,103 @@
+"""Protocol configuration.
+
+One dataclass gathers every tunable of the reference protocol so
+experiments can state their configuration in one place and reports can
+print it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sharing.base import SecretSharingScheme
+from repro.sharing.shamir import ShamirScheme
+
+
+@dataclass
+class ProtocolConfig:
+    """Tunables of a ReMICSS node.
+
+    Attributes:
+        kappa: target average threshold κ (used by the dynamic scheduler).
+        mu: target average multiplicity µ (used by the dynamic scheduler).
+        symbol_size: source symbol payload size in bytes.  The model's
+            "unit rate" of a channel is expressed in symbols of this size.
+        scheme: the threshold secret sharing scheme to split symbols with.
+        source_queue_limit: how many symbols may wait for channel
+            readiness before the source starts dropping (sender-side
+            socket-buffer analogue).
+        reassembly_timeout: how long the receiver keeps an incomplete
+            symbol before evicting it (the IP-fragment-reassembly borrow).
+        reassembly_limit: maximum number of in-flight incomplete symbols
+            held by the receiver; beyond it the oldest is evicted.
+        selector_ordering: "headroom" (default) or "fixed" readiness
+            ordering for the dynamic share schedule (see
+            :mod:`repro.netsim.readiness`).
+        share_synthetic: when True, the sender skips real share payloads
+            (sizes only) -- used by pure rate benchmarks to keep the hot
+            loop allocation-free.  Reconstruction is then skipped too; the
+            receiver counts a symbol as delivered when k shares arrived.
+        cpu_split_cost: CPU work units to split one symbol (see
+            :class:`repro.netsim.host.CpuModel`); only meaningful when the
+            node is given a finite-capacity CPU.
+        cpu_share_cost: CPU work units per transmitted or received share.
+        cpu_reconstruct_cost_per_k: CPU work units per share actually used
+            in reconstruction (so cost grows with k, which is what makes
+            large κ fall off sooner in the paper's Figure 7).
+        byzantine_tolerance: number of *corrupted* shares per symbol the
+            receiver can correct (the PSMT threat model).  When positive,
+            the receiver waits for ``k + 2e`` shares and decodes robustly
+            (see :mod:`repro.sharing.robust`); requires real Shamir
+            payloads and ``⌊µ⌋ >= ⌊κ⌋ + 2e`` so enough shares exist.
+    """
+
+    kappa: float = 1.0
+    mu: float = 1.0
+    symbol_size: int = 1250
+    scheme: SecretSharingScheme = field(default_factory=ShamirScheme)
+    source_queue_limit: int = 64
+    reassembly_timeout: float = 5.0
+    reassembly_limit: int = 4096
+    selector_ordering: str = "headroom"
+    share_synthetic: bool = False
+    cpu_split_cost: float = 1.0
+    cpu_share_cost: float = 1.0
+    cpu_reconstruct_cost_per_k: float = 1.0
+    byzantine_tolerance: int = 0
+
+    def __post_init__(self) -> None:
+        if not 1.0 <= self.kappa <= self.mu:
+            raise ValueError(f"need 1 <= κ <= µ, got κ={self.kappa}, µ={self.mu}")
+        if self.symbol_size <= 0:
+            raise ValueError(f"symbol_size must be positive, got {self.symbol_size}")
+        if self.source_queue_limit < 1:
+            raise ValueError("source_queue_limit must be at least 1")
+        if self.reassembly_timeout <= 0:
+            raise ValueError("reassembly_timeout must be positive")
+        if self.reassembly_limit < 1:
+            raise ValueError("reassembly_limit must be at least 1")
+        # The dynamic sampler draws k in {floor(κ), ceil(κ)} and m in
+        # {floor(µ), ceil(µ)}; the scheme must accept the extreme pair.
+        import math
+
+        k_min, m_max = math.floor(self.kappa), math.ceil(self.mu)
+        if not self.scheme.supports(k_min, max(k_min, m_max)):
+            raise ValueError(
+                f"scheme {self.scheme.name!r} cannot operate at κ={self.kappa}, "
+                f"µ={self.mu} (needs support for k={k_min}, m={m_max})"
+            )
+        if self.byzantine_tolerance < 0:
+            raise ValueError("byzantine_tolerance must be nonnegative")
+        if self.byzantine_tolerance > 0:
+            if self.share_synthetic:
+                raise ValueError("byzantine tolerance needs real share payloads")
+            if self.scheme.name != "shamir-gf256":
+                raise ValueError(
+                    "robust decoding is implemented for Shamir shares only"
+                )
+            if math.floor(self.mu) < k_min + 2 * self.byzantine_tolerance:
+                raise ValueError(
+                    f"correcting e={self.byzantine_tolerance} corruptions needs "
+                    f"⌊µ⌋ >= ⌊κ⌋ + 2e (got κ={self.kappa}, µ={self.mu})"
+                )

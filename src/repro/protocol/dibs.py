@@ -1,0 +1,129 @@
+"""Transparent interception shim (the DIBS stand-in).
+
+The real ReMICSS implementation inserts itself below the transport layer
+using the DIBS "bump in the stack" architecture, so *any* IP traffic can be
+carried without application changes.  In the simulator the equivalent role
+is a framing adapter: arbitrary-length application datagrams are segmented
+into fixed-size protocol symbols on the way in and reassembled on the way
+out, so applications never see the symbol size.
+
+Frame format inside the symbol stream: each application datagram becomes
+``[4-byte length][data]``, the concatenated stream is cut into symbol-size
+chunks, and the final chunk is zero-padded (a length of zero marks padding,
+which the reader skips).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Dict, List, Optional
+
+from repro.protocol.remicss import RemicssNode
+
+_LENGTH = struct.Struct(">I")
+
+
+class DibsInterceptor:
+    """Carries arbitrary application datagrams over a ReMICSS node.
+
+    Args:
+        node: the protocol node to send through.
+        on_datagram: callback invoked with each reassembled application
+            datagram on the receive side.
+
+    Notes:
+        Delivery is sensitive to symbol loss and reordering: symbols are
+        re-sequenced by their protocol sequence number, and a gap flushes
+        the partially accumulated datagram (a best-effort IP-like drop).
+    """
+
+    def __init__(
+        self,
+        node: RemicssNode,
+        on_datagram: Optional[Callable[[bytes], None]] = None,
+    ):
+        self.node = node
+        self.symbol_size = node.config.symbol_size
+        self._callbacks: List[Callable[[bytes], None]] = []
+        if on_datagram is not None:
+            self._callbacks.append(on_datagram)
+        self._outbuf = b""
+        self._expected_seq: Optional[int] = None
+        self._stash: Dict[int, bytes] = {}
+        self._inbuf = b""
+        self.datagrams_sent = 0
+        self.datagrams_delivered = 0
+        self.datagrams_corrupted = 0
+        node.on_deliver(self._on_symbol)
+
+    def on_datagram(self, callback: Callable[[bytes], None]) -> None:
+        """Register a receive callback for reassembled datagrams."""
+        self._callbacks.append(callback)
+
+    # -- intercept (send side) ---------------------------------------------------
+
+    def intercept(self, datagram: bytes) -> None:
+        """Accept one application datagram and push full symbols out."""
+        self.datagrams_sent += 1
+        self._outbuf += _LENGTH.pack(len(datagram)) + datagram
+        while len(self._outbuf) >= self.symbol_size:
+            symbol, self._outbuf = (
+                self._outbuf[: self.symbol_size],
+                self._outbuf[self.symbol_size :],
+            )
+            self.node.send(symbol)
+
+    def flush(self) -> None:
+        """Zero-pad and send any buffered partial symbol."""
+        if self._outbuf:
+            symbol = self._outbuf.ljust(self.symbol_size, b"\0")
+            self._outbuf = b""
+            self.node.send(symbol)
+
+    # -- reinject (receive side) ----------------------------------------------------
+
+    def _on_symbol(self, seq: int, payload: Optional[bytes], delay: float) -> None:
+        del delay
+        if payload is None:
+            return  # synthetic mode carries no data to reassemble
+        if self._expected_seq is None:
+            self._expected_seq = seq
+        if seq != self._expected_seq:
+            self._stash[seq] = payload
+            # A badly out-of-window symbol means the gap will never fill;
+            # drop the partial datagram and resync.
+            if len(self._stash) > 64:
+                self._resync()
+            return
+        self._consume(payload)
+        self._expected_seq += 1
+        while self._expected_seq in self._stash:
+            self._consume(self._stash.pop(self._expected_seq))
+            self._expected_seq += 1
+
+    def _resync(self) -> None:
+        self.datagrams_corrupted += 1
+        self._inbuf = b""
+        self._expected_seq = min(self._stash)
+        while self._expected_seq in self._stash:
+            self._consume(self._stash.pop(self._expected_seq))
+            self._expected_seq += 1
+
+    def _consume(self, symbol: bytes) -> None:
+        self._inbuf += symbol
+        while True:
+            if len(self._inbuf) < _LENGTH.size:
+                return
+            (length,) = _LENGTH.unpack_from(self._inbuf)
+            if length == 0:
+                # Padding: the rest of this buffer is flush fill.
+                self._inbuf = b""
+                return
+            end = _LENGTH.size + length
+            if len(self._inbuf) < end:
+                return
+            datagram = self._inbuf[_LENGTH.size : end]
+            self._inbuf = self._inbuf[end:]
+            self.datagrams_delivered += 1
+            for callback in self._callbacks:
+                callback(datagram)

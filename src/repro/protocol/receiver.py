@@ -1,0 +1,253 @@
+"""Receive path: share reassembly with timeout eviction and a memory bound.
+
+Because ReMICSS is best-effort, shares of many symbols are in flight at
+once (loss, reordering, and unequal channel rates all interleave them).
+The receiver therefore keeps a reassembly table indexed by symbol sequence
+number, borrowing two ideas from IP fragment reassembly (Sec. V):
+
+* an incomplete symbol is **evicted after a timeout**, so slow shares get
+  time to arrive without the table pinning memory forever;
+* the table is **bounded**; when full, the oldest incomplete symbol is
+  evicted to make room (new shares are never blocked by old state).
+
+A symbol is delivered the moment any k of its shares have arrived; shares
+arriving after that are counted as *late* and dropped.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, Optional, Set
+
+from repro.netsim.engine import Engine, Event
+from repro.netsim.host import CpuModel
+from repro.netsim.packet import Datagram
+from repro.protocol.wire import WireFormatError, decode_share
+from repro.sharing.base import ReconstructionError, SecretSharingScheme, Share
+from repro.sharing.robust import robust_reconstruct
+
+#: How many completed sequence numbers to remember for late-share
+#: classification, as a multiple of the reassembly limit.
+_COMPLETED_MEMORY_FACTOR = 4
+
+
+@dataclass
+class ReceiverStats:
+    """Counters kept by the receive path."""
+
+    shares_received: int = 0
+    symbols_delivered: int = 0
+    late_shares: int = 0
+    duplicate_shares: int = 0
+    evicted_symbols: int = 0
+    evicted_shares: int = 0
+    decode_errors: int = 0
+    reconstruction_errors: int = 0
+    cpu_rejected_shares: int = 0
+    corrupt_shares_detected: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+class _Entry:
+    """Reassembly state for one in-flight symbol."""
+
+    __slots__ = (
+        "seq", "k", "m", "shares", "channels", "first_at", "sent_at", "evict_event",
+    )
+
+    def __init__(self, seq: int, k: int, m: int, first_at: float, sent_at: float):
+        self.seq = seq
+        self.k = k
+        self.m = m
+        self.shares: Dict[int, Share] = {}
+        self.channels: Dict[int, int] = {}  # share index -> arrival channel
+        self.first_at = first_at
+        self.sent_at = sent_at
+        self.evict_event: Optional[Event] = None
+
+
+class ReassemblyBuffer:
+    """The receive path of a protocol node.
+
+    Args:
+        engine: simulation engine (for the clock and eviction timers).
+        scheme: scheme used to reconstruct symbols.
+        timeout: eviction timeout for incomplete symbols.
+        limit: maximum number of incomplete symbols held.
+        on_deliver: callback ``(seq, payload, delay)`` invoked for every
+            reconstructed symbol; ``payload`` is ``None`` in synthetic
+            mode and ``delay`` is source-to-reconstruction latency.
+        synthetic: when True, skip real reconstruction and deliver as soon
+            as k share *headers* have arrived (rate-only benchmarks).
+        cpu: optional finite CPU; when given, each share pays
+            ``share_cost`` and each reconstruction pays
+            ``k * reconstruct_cost_per_k`` before completing.
+        share_cost: CPU work units per received share.
+        reconstruct_cost_per_k: CPU work units per share used in
+            reconstruction.
+        byzantine_tolerance: corrupted shares to correct per symbol; when
+            positive, completion waits for ``min(m, k + 2e)`` shares and
+            decodes with :func:`repro.sharing.robust.robust_reconstruct`.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        scheme: SecretSharingScheme,
+        timeout: float,
+        limit: int,
+        on_deliver: Callable[[int, Optional[bytes], float], None],
+        synthetic: bool = False,
+        cpu: Optional[CpuModel] = None,
+        share_cost: float = 1.0,
+        reconstruct_cost_per_k: float = 1.0,
+        byzantine_tolerance: int = 0,
+    ):
+        self.engine = engine
+        self.scheme = scheme
+        self.timeout = timeout
+        self.limit = limit
+        self.on_deliver = on_deliver
+        self.synthetic = synthetic
+        self.cpu = cpu
+        self.share_cost = share_cost
+        self.reconstruct_cost_per_k = reconstruct_cost_per_k
+        self.byzantine_tolerance = byzantine_tolerance
+        self.stats = ReceiverStats()
+        self.corrupt_by_channel: Dict[int, int] = {}
+        self._table: "OrderedDict[int, _Entry]" = OrderedDict()
+        self._completed: Set[int] = set()
+        self._completed_order: Deque[int] = deque()
+
+    @property
+    def pending(self) -> int:
+        """Number of incomplete symbols currently held."""
+        return len(self._table)
+
+    # -- ingress ---------------------------------------------------------------
+
+    def handle_datagram(self, datagram: Datagram) -> None:
+        """Entry point wired to every inbound channel port."""
+        if self.cpu is None or self.cpu.capacity is None:
+            self._process(datagram)
+            return
+        accepted = self.cpu.submit(self.share_cost, lambda: self._process(datagram))
+        if not accepted:
+            self.stats.cpu_rejected_shares += 1
+
+    def _process(self, datagram: Datagram) -> None:
+        if self.synthetic:
+            meta = datagram.meta
+            seq, index, k, m = meta["seq"], meta["index"], meta["k"], meta["m"]
+            share = None
+        else:
+            try:
+                header, share = decode_share(datagram.payload)
+            except WireFormatError:
+                self.stats.decode_errors += 1
+                return
+            seq, index, k, m = header.seq, header.index, header.k, header.m
+        self.stats.shares_received += 1
+
+        if seq in self._completed:
+            self.stats.late_shares += 1
+            return
+        entry = self._table.get(seq)
+        if entry is None:
+            entry = self._open_entry(seq, k, m, datagram)
+        if index in entry.shares:
+            self.stats.duplicate_shares += 1
+            return
+        # Synthetic mode stores a placeholder; real mode stores the share.
+        entry.shares[index] = share
+        channel = datagram.meta.get("channel")
+        if channel is not None:
+            entry.channels[index] = channel
+        if len(entry.shares) >= self._required_shares(entry):
+            self._complete(entry)
+
+    def _required_shares(self, entry: _Entry) -> int:
+        """Shares needed before reconstruction is attempted.
+
+        Plain operation completes at k; Byzantine-tolerant operation waits
+        for 2e extra shares (capped at m, beyond which no more will come).
+        """
+        if self.byzantine_tolerance == 0 or self.synthetic:
+            return entry.k
+        return min(entry.m, entry.k + 2 * self.byzantine_tolerance)
+
+    def _open_entry(self, seq: int, k: int, m: int, datagram: Datagram) -> _Entry:
+        if len(self._table) >= self.limit:
+            # Evict the oldest incomplete symbol to make room.
+            _, oldest = self._table.popitem(last=False)
+            self._drop_entry(oldest)
+        sent_at = datagram.meta.get("symbol_sent_at", datagram.sent_at)
+        entry = _Entry(seq, k, m, first_at=self.engine.now, sent_at=sent_at)
+        entry.evict_event = self.engine.schedule(self.timeout, self._evict, seq)
+        self._table[seq] = entry
+        return entry
+
+    # -- completion and eviction -------------------------------------------------
+
+    def _complete(self, entry: _Entry) -> None:
+        del self._table[entry.seq]
+        if entry.evict_event is not None:
+            entry.evict_event.cancel()
+        self._remember_completed(entry.seq)
+
+        def finish() -> None:
+            if self.synthetic:
+                payload: Optional[bytes] = None
+            elif self.byzantine_tolerance > 0:
+                try:
+                    result = robust_reconstruct(list(entry.shares.values()))
+                except ReconstructionError:
+                    self.stats.reconstruction_errors += 1
+                    return
+                payload = result.secret
+                if result.corrupted:
+                    self.stats.corrupt_shares_detected += len(result.corrupted)
+                    for index in result.corrupted:
+                        channel = entry.channels.get(index)
+                        if channel is not None:
+                            self.corrupt_by_channel[channel] = (
+                                self.corrupt_by_channel.get(channel, 0) + 1
+                            )
+            else:
+                try:
+                    payload = self.scheme.reconstruct(list(entry.shares.values()))
+                except ReconstructionError:
+                    self.stats.reconstruction_errors += 1
+                    return
+            self.stats.symbols_delivered += 1
+            delay = self.engine.now - entry.sent_at if entry.sent_at >= 0 else 0.0
+            self.on_deliver(entry.seq, payload, delay)
+
+        if self.cpu is None or self.cpu.capacity is None:
+            finish()
+            return
+        cost = entry.k * self.reconstruct_cost_per_k
+        if not self.cpu.submit(cost, finish):
+            # Reconstruction work rejected by a saturated CPU: symbol lost.
+            self.stats.cpu_rejected_shares += 1
+
+    def _remember_completed(self, seq: int) -> None:
+        self._completed.add(seq)
+        self._completed_order.append(seq)
+        max_remembered = self.limit * _COMPLETED_MEMORY_FACTOR
+        while len(self._completed_order) > max_remembered:
+            self._completed.discard(self._completed_order.popleft())
+
+    def _evict(self, seq: int) -> None:
+        entry = self._table.pop(seq, None)
+        if entry is not None:
+            self._drop_entry(entry, cancel_timer=False)
+
+    def _drop_entry(self, entry: _Entry, cancel_timer: bool = True) -> None:
+        if cancel_timer and entry.evict_event is not None:
+            entry.evict_event.cancel()
+        self.stats.evicted_symbols += 1
+        self.stats.evicted_shares += len(entry.shares)

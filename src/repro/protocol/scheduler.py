@@ -1,0 +1,80 @@
+"""Per-symbol parameter selection (the share schedule, operationally).
+
+Two strategies, matching the paper's Sec. V discussion:
+
+* :class:`DynamicParameterSampler` -- ReMICSS's approach: only the integer
+  pair (k, m) is decided per symbol (sampled so the averages are exactly
+  κ and µ, via the Theorem-5 atom mixture); *which* m channels carry the
+  shares is left to write-readiness at send time ("the first m channels
+  ready for writing").
+* :class:`ExplicitScheduler` -- the model-faithful alternative: draw the
+  full (k, M) pair from an explicit :class:`~repro.core.schedule.ShareSchedule`
+  (typically an LP-optimal one).  Used for ablations comparing the dynamic
+  simplification against the optimum it approximates.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import FrozenSet, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.program import fractional_atoms
+from repro.core.schedule import ShareSchedule
+
+
+class ParameterSampler(abc.ABC):
+    """Per-symbol source of protocol parameters."""
+
+    @abc.abstractmethod
+    def sample(self) -> Tuple[int, int, Optional[FrozenSet[int]]]:
+        """Return ``(k, m, M)`` for the next symbol.
+
+        ``M`` is ``None`` for dynamic scheduling (the sender will pick the
+        first m ready channels); otherwise it is the exact channel subset
+        to use, with ``|M| == m``.
+        """
+
+
+class DynamicParameterSampler(ParameterSampler):
+    """Sample integer (k, m) with exact long-run averages (κ, µ).
+
+    Uses the :func:`repro.core.program.fractional_atoms` mixture: at most
+    four integer atoms whose expectation is exactly (κ, µ), every atom
+    satisfying ``k <= m``.  Deterministic when κ and µ are both integers.
+    """
+
+    def __init__(self, kappa: float, mu: float, rng: np.random.Generator):
+        self.kappa = kappa
+        self.mu = mu
+        self.rng = rng
+        atoms = fractional_atoms(kappa, mu)
+        self._pairs: List[Tuple[int, int]] = [pair for pair, _ in atoms]
+        self._probs = np.array([p for _, p in atoms])
+        self._probs = self._probs / self._probs.sum()
+
+    def sample(self) -> Tuple[int, int, Optional[FrozenSet[int]]]:
+        if len(self._pairs) == 1:
+            k, m = self._pairs[0]
+        else:
+            k, m = self._pairs[int(self.rng.choice(len(self._pairs), p=self._probs))]
+        return k, m, None
+
+
+class ExplicitScheduler(ParameterSampler):
+    """Draw full (k, M) pairs from an explicit share schedule."""
+
+    def __init__(self, schedule: ShareSchedule, rng: np.random.Generator):
+        self.schedule = schedule
+        self.rng = rng
+        self._pairs = [pair for pair, _ in schedule.support()]
+        self._probs = np.array([p for _, p in schedule.support()])
+        self._probs = self._probs / self._probs.sum()
+
+    def sample(self) -> Tuple[int, int, Optional[FrozenSet[int]]]:
+        if len(self._pairs) == 1:
+            k, members = self._pairs[0]
+        else:
+            k, members = self._pairs[int(self.rng.choice(len(self._pairs), p=self._probs))]
+        return k, len(members), members

@@ -1,0 +1,204 @@
+"""Send path: source queue, parameter sampling, share transmission.
+
+The sender is a FIFO pipeline.  Source symbols wait in a bounded queue
+(the socket-buffer analogue; overflow drops are how an over-offered sender
+sheds load, exactly like iperf's UDP client).  For the symbol at the head:
+
+1. parameters are sampled once (and stick while the symbol waits);
+2. the sender waits until the required channels can accept a share --
+   for the *dynamic* schedule, any m writable channels (the paper's
+   "first m channels ready for writing" via epoll); for an *explicit*
+   schedule, precisely the channels of the drawn subset M;
+3. the symbol is split and one share is transmitted per chosen channel.
+
+An optional finite CPU serialises the per-symbol work (split cost plus a
+per-share cost), which is what caps throughput in the paper's Figures 6-7
+once channel capacity outgrows the end system.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, FrozenSet, List, Optional, Sequence
+
+import numpy as np
+
+from repro.netsim.engine import Engine
+from repro.netsim.host import CpuModel
+from repro.netsim.packet import Datagram
+from repro.netsim.ports import ChannelPort
+from repro.netsim.readiness import WriteSelector
+from repro.protocol.config import ProtocolConfig
+from repro.protocol.scheduler import ParameterSampler
+from repro.protocol.wire import HEADER_SIZE, encode_share
+from repro.sharing.base import Share
+
+
+@dataclass
+class SenderStats:
+    """Counters kept by the send path."""
+
+    symbols_offered: int = 0
+    symbols_sent: int = 0
+    source_drops: int = 0
+    shares_sent: int = 0
+    share_send_failures: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+class _PendingSymbol:
+    """A source symbol waiting in the sender's queue."""
+
+    __slots__ = ("seq", "payload", "offered_at", "k", "m", "subset")
+
+    def __init__(self, seq: int, payload: Optional[bytes], offered_at: float):
+        self.seq = seq
+        self.payload = payload
+        self.offered_at = offered_at
+        self.k: Optional[int] = None
+        self.m: Optional[int] = None
+        self.subset: Optional[FrozenSet[int]] = None
+
+
+class ShareSender:
+    """The send path of a protocol node.
+
+    Args:
+        engine: simulation engine.
+        ports: outbound channel ports, in channel-index order.
+        sampler: per-symbol parameter source (dynamic or explicit).
+        config: protocol configuration.
+        rng: random stream for share material.
+        cpu: optional finite CPU serialising per-symbol work.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        ports: Sequence[ChannelPort],
+        sampler: ParameterSampler,
+        config: ProtocolConfig,
+        rng: np.random.Generator,
+        cpu: Optional[CpuModel] = None,
+    ):
+        self.engine = engine
+        self.ports = list(ports)
+        self.sampler = sampler
+        self.config = config
+        self.rng = rng
+        self.cpu = cpu
+        self.selector = WriteSelector(self.ports, config.selector_ordering)
+        self.stats = SenderStats()
+        self.shares_per_channel = [0] * len(self.ports)
+        self._source: Deque[_PendingSymbol] = deque()
+        self._next_seq = 0
+        self._cpu_busy = False
+        for port in self.ports:
+            port.link.watch_writable(self._pump)
+
+    @property
+    def backlog(self) -> int:
+        """Symbols waiting in the source queue."""
+        return len(self._source)
+
+    # -- ingress ----------------------------------------------------------------
+
+    def offer(self, payload: Optional[bytes] = None) -> bool:
+        """Offer one source symbol to the protocol.
+
+        ``payload`` may be ``None`` in synthetic mode (rate benchmarks);
+        otherwise it must be exactly ``config.symbol_size`` bytes.
+
+        Returns:
+            False if the source queue was full and the symbol was dropped.
+        """
+        self.stats.symbols_offered += 1
+        if payload is not None and len(payload) != self.config.symbol_size:
+            raise ValueError(
+                f"payload must be {self.config.symbol_size} bytes, got {len(payload)}"
+            )
+        if payload is None and not self.config.share_synthetic:
+            raise ValueError("payload required unless share_synthetic is enabled")
+        if len(self._source) >= self.config.source_queue_limit:
+            self.stats.source_drops += 1
+            return False
+        symbol = _PendingSymbol(self._next_seq, payload, self.engine.now)
+        self._next_seq += 1
+        self._source.append(symbol)
+        self._pump()
+        return True
+
+    # -- the pipeline -------------------------------------------------------------
+
+    def _pump(self) -> None:
+        """Advance the head symbol if its channels are ready (and CPU free)."""
+        if self._cpu_busy:
+            return
+        while self._source:
+            symbol = self._source[0]
+            if symbol.k is None:
+                symbol.k, symbol.m, symbol.subset = self.sampler.sample()
+            chosen = self._choose_ports(symbol)
+            if chosen is None:
+                return  # blocked; a writable notification will re-pump
+            if self.cpu is None or self.cpu.capacity is None:
+                self._source.popleft()
+                self._transmit(symbol, chosen)
+                continue
+            # Finite CPU: serialise one symbol at a time through it.  The
+            # chosen ports stay valid because nothing else fills them
+            # while this sender is the only writer.
+            self._source.popleft()
+            self._cpu_busy = True
+            cost = self.config.cpu_split_cost + symbol.m * self.config.cpu_share_cost
+
+            def finish(sym: _PendingSymbol = symbol, ports: List[ChannelPort] = chosen) -> None:
+                self._transmit(sym, ports)
+                self._cpu_busy = False
+                self._pump()
+
+            self.cpu.submit(cost, finish)
+            return
+
+    def _choose_ports(self, symbol: _PendingSymbol) -> Optional[List[ChannelPort]]:
+        """The ports to use for this symbol, or None if not all are ready."""
+        if symbol.subset is None:
+            chosen = self.selector.select(symbol.m)
+            return chosen or None
+        members = sorted(symbol.subset)
+        ports = [self.ports[i] for i in members]
+        if all(port.writable() for port in ports):
+            return ports
+        return None
+
+    def _transmit(self, symbol: _PendingSymbol, chosen: List[ChannelPort]) -> None:
+        size = self.config.symbol_size + HEADER_SIZE
+        meta_base = {"seq": symbol.seq, "k": symbol.k, "m": symbol.m}
+        if self.config.share_synthetic:
+            shares: List[Optional[Share]] = [None] * symbol.m
+        else:
+            shares = list(
+                self.config.scheme.split(symbol.payload, symbol.k, symbol.m, self.rng)
+            )
+        for position, port in enumerate(chosen):
+            index = position + 1
+            meta = {
+                **meta_base,
+                "index": index,
+                "symbol_sent_at": symbol.offered_at,
+                "channel": port.index,
+            }
+            if shares[position] is None:
+                datagram = Datagram(size=size, meta=meta)
+            else:
+                packet = encode_share(symbol.seq, shares[position], self.config.scheme.name)
+                datagram = Datagram(size=len(packet), payload=packet, meta=meta)
+            if port.send(datagram):
+                self.stats.shares_sent += 1
+                self.shares_per_channel[port.index] += 1
+            else:  # pragma: no cover - ports were checked writable
+                self.stats.share_send_failures += 1
+        self.stats.symbols_sent += 1

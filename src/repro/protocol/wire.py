@@ -1,0 +1,106 @@
+"""Wire format for share packets.
+
+Each share travels in a fixed 16-byte header followed by the share payload.
+The header carries everything the receiver's reassembly buffer needs to
+group shares (symbol sequence number), decide completeness (k), and pick
+the reconstruction routine (scheme id, share index):
+
+======  ====  =====================================================
+offset  size  field
+======  ====  =====================================================
+0       2     magic (0x5253, "RS")
+2       1     version (currently 1)
+3       1     scheme id (1 = shamir-gf256, 2 = xor-perfect, 3 = blakley)
+4       8     symbol sequence number (big-endian)
+12      1     share index (1..m)
+13      1     threshold k
+14      1     multiplicity m
+15      1     flags (reserved, zero)
+======  ====  =====================================================
+
+The 16-byte header over a 1250-byte symbol is the protocol's intrinsic
+~1.3% rate overhead; together with scheduling slack it accounts for the
+"within 3-4% of optimal" gap the paper reports.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.sharing.base import Share
+
+#: Total header size in bytes.
+HEADER_SIZE = 16
+
+_MAGIC = 0x5253
+_VERSION = 1
+_STRUCT = struct.Struct(">HBBQBBBB")
+
+#: Scheme ids carried on the wire.  Ramp schemes occupy ids 16 + L so the
+#: receiver can recover the block parameter from the id alone.
+SCHEME_IDS = {"shamir-gf256": 1, "xor-perfect": 2, "blakley-gfp": 3}
+SCHEME_IDS.update({f"ramp-gf256-L{L}": 16 + L for L in range(2, 17)})
+SCHEME_NAMES = {v: k for k, v in SCHEME_IDS.items()}
+
+
+class WireFormatError(Exception):
+    """Raised when an incoming packet cannot be parsed as a share."""
+
+
+@dataclass(frozen=True)
+class ShareHeader:
+    """Decoded header of a share packet."""
+
+    scheme_id: int
+    seq: int
+    index: int
+    k: int
+    m: int
+
+    @property
+    def scheme_name(self) -> str:
+        return SCHEME_NAMES.get(self.scheme_id, f"unknown({self.scheme_id})")
+
+
+def encode_share(seq: int, share: Share, scheme_name: str) -> bytes:
+    """Serialise a share of symbol ``seq`` into a wire packet.
+
+    Raises:
+        ValueError: for out-of-range fields or unknown scheme names.
+    """
+    if scheme_name not in SCHEME_IDS:
+        raise ValueError(f"unknown scheme {scheme_name!r}")
+    if not 0 <= seq < 2**64:
+        raise ValueError(f"sequence number out of range: {seq}")
+    if not 1 <= share.index <= 255 or not 1 <= share.k <= 255 or not 1 <= share.m <= 255:
+        raise ValueError(
+            f"header fields out of range: index={share.index}, k={share.k}, m={share.m}"
+        )
+    header = _STRUCT.pack(
+        _MAGIC, _VERSION, SCHEME_IDS[scheme_name], seq, share.index, share.k, share.m, 0
+    )
+    return header + share.data
+
+
+def decode_share(packet: bytes) -> Tuple[ShareHeader, Share]:
+    """Parse a wire packet back into its header and share.
+
+    Raises:
+        WireFormatError: for truncated packets, bad magic, or unsupported
+            versions.
+    """
+    if len(packet) < HEADER_SIZE:
+        raise WireFormatError(f"packet of {len(packet)} bytes is shorter than the header")
+    magic, version, scheme_id, seq, index, k, m, _flags = _STRUCT.unpack_from(packet)
+    if magic != _MAGIC:
+        raise WireFormatError(f"bad magic 0x{magic:04x}")
+    if version != _VERSION:
+        raise WireFormatError(f"unsupported version {version}")
+    header = ShareHeader(scheme_id=scheme_id, seq=seq, index=index, k=k, m=m)
+    try:
+        share = Share(index=index, data=packet[HEADER_SIZE:], k=k, m=m)
+    except ValueError as exc:
+        raise WireFormatError(str(exc)) from exc
+    return header, share

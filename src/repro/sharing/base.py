@@ -1,0 +1,145 @@
+"""Common interface for threshold secret sharing schemes.
+
+A *(k, m) threshold scheme* splits a secret into ``m`` shares such that any
+``k`` of them reconstruct the secret and any ``k - 1`` reveal nothing
+(information-theoretically).  The paper's protocol model (Sec. III-C) treats
+the scheme as a black box with exactly this contract, so the protocol code
+is written against this interface.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+class ReconstructionError(Exception):
+    """Raised when a set of shares cannot reconstruct a secret.
+
+    Typical causes: fewer than ``k`` shares supplied, duplicate share
+    indices, or shares of inconsistent length.
+    """
+
+
+@dataclass(frozen=True)
+class Share:
+    """One share of a secret.
+
+    Attributes:
+        index: 1-based share index (the x-coordinate for Shamir; the
+            hyperplane id for Blakley).  Index 0 is reserved: for Shamir it
+            is the secret itself and must never be issued as a share.
+        data: the share payload.
+        k: threshold used when the secret was split.
+        m: multiplicity used when the secret was split.
+    """
+
+    index: int
+    data: bytes
+    k: int
+    m: int
+
+    def __post_init__(self) -> None:
+        if self.index < 1:
+            raise ValueError("share index must be >= 1")
+        if not 1 <= self.k <= self.m:
+            raise ValueError(f"invalid threshold parameters k={self.k}, m={self.m}")
+
+
+def validate_parameters(k: int, m: int) -> None:
+    """Check the threshold-scheme parameter ordering ``1 <= k <= m``.
+
+    Raises:
+        ValueError: if the parameters are out of range.
+    """
+    if not isinstance(k, (int, np.integer)) or not isinstance(m, (int, np.integer)):
+        raise ValueError("k and m must be integers")
+    if not 1 <= k <= m:
+        raise ValueError(f"threshold parameters must satisfy 1 <= k <= m, got k={k}, m={m}")
+
+
+def check_share_group(shares: Sequence[Share], k: Optional[int] = None) -> int:
+    """Validate a group of shares for reconstruction and return the threshold.
+
+    Ensures the shares agree on (k, m), have distinct indices within range,
+    and that at least ``k`` of them are present.
+
+    Args:
+        shares: candidate shares of a single secret.
+        k: expected threshold; taken from the shares when ``None``.
+
+    Returns:
+        The threshold ``k`` the shares were produced with.
+
+    Raises:
+        ReconstructionError: if the group is inconsistent or too small.
+    """
+    if not shares:
+        raise ReconstructionError("no shares supplied")
+    first = shares[0]
+    threshold = first.k if k is None else k
+    for share in shares:
+        if share.k != first.k or share.m != first.m:
+            raise ReconstructionError(
+                f"inconsistent parameters among shares: ({share.k},{share.m}) vs ({first.k},{first.m})"
+            )
+        if share.index > share.m:
+            raise ReconstructionError(f"share index {share.index} exceeds multiplicity {share.m}")
+    indices = [s.index for s in shares]
+    if len(set(indices)) != len(indices):
+        raise ReconstructionError(f"duplicate share indices: {sorted(indices)}")
+    if len(shares) < threshold:
+        raise ReconstructionError(f"need at least {threshold} shares, got {len(shares)}")
+    return threshold
+
+
+class SecretSharingScheme(abc.ABC):
+    """Abstract (k, m) threshold secret sharing scheme over byte secrets."""
+
+    #: Human-readable scheme name (used in wire headers and reports).
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def split(
+        self,
+        secret: bytes,
+        k: int,
+        m: int,
+        rng: np.random.Generator,
+    ) -> "list[Share]":
+        """Split ``secret`` into ``m`` shares with threshold ``k``.
+
+        Args:
+            secret: the secret payload.
+            k: number of shares required for reconstruction.
+            m: number of shares to generate; ``1 <= k <= m``.
+            rng: source of randomness for the share material.  Callers
+                (protocol, tests) control determinism through this.
+
+        Returns:
+            ``m`` shares with indices ``1..m``.
+        """
+
+    @abc.abstractmethod
+    def reconstruct(self, shares: Sequence[Share]) -> bytes:
+        """Recover the secret from at least ``k`` shares.
+
+        Raises:
+            ReconstructionError: if the shares are insufficient or
+                inconsistent.
+        """
+
+    def supports(self, k: int, m: int) -> bool:
+        """Whether this scheme can operate with the given parameters.
+
+        Most schemes support any ``1 <= k <= m`` (up to an index limit);
+        the XOR perfect scheme only supports ``k == m``.
+        """
+        try:
+            validate_parameters(k, m)
+        except ValueError:
+            return False
+        return True

@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.channel import ChannelSet
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def three_channels() -> ChannelSet:
+    """A small diverse channel set used across model tests."""
+    return ChannelSet.from_vectors(
+        risks=[0.2, 0.5, 0.1],
+        losses=[0.1, 0.05, 0.2],
+        delays=[2.0, 9.0, 10.0],
+        rates=[3.0, 4.0, 8.0],
+    )
+
+
+@pytest.fixture
+def five_channels() -> ChannelSet:
+    """A five-channel set mirroring the paper's testbed scale."""
+    return ChannelSet.from_vectors(
+        risks=[0.3, 0.1, 0.25, 0.15, 0.2],
+        losses=[0.01, 0.005, 0.01, 0.02, 0.03],
+        delays=[0.25, 0.025, 1.25, 0.5, 0.05],
+        rates=[5.0, 20.0, 60.0, 65.0, 100.0],
+    )
+
+
+@pytest.fixture
+def lossless_channels() -> ChannelSet:
+    """Channels with zero loss (delay formulas collapse to order stats)."""
+    return ChannelSet.from_vectors(
+        risks=[0.4, 0.3, 0.2],
+        losses=[0.0, 0.0, 0.0],
+        delays=[2.0, 9.0, 10.0],
+        rates=[10.0, 10.0, 10.0],
+    )

@@ -1,0 +1,128 @@
+"""Adversary: eavesdropping, ground-truth reconstruction, Monte-Carlo checks."""
+
+import numpy as np
+import pytest
+
+from repro.adversary.eavesdropper import Eavesdropper
+from repro.adversary.montecarlo import (
+    estimate_schedule_properties,
+    estimate_subset_properties,
+)
+from repro.core.channel import ChannelSet
+from repro.core.optimal import max_privacy_risk
+from repro.core.properties import subset_loss, subset_risk
+from repro.core.schedule import ShareSchedule
+from repro.netsim.rng import RngRegistry
+from repro.protocol.config import ProtocolConfig
+from repro.protocol.remicss import PointToPointNetwork
+from repro.sharing.shamir import ShamirScheme
+
+
+def run_with_adversary(risks, kappa, mu, symbols=3000, seed=5):
+    """Send symbols through the protocol with an eavesdropper attached."""
+    n = len(risks)
+    channels = ChannelSet.from_vectors(
+        risks=risks,
+        losses=[0.0] * n,
+        delays=[0.001] * n,
+        rates=[100.0] * n,
+    )
+    registry = RngRegistry(seed)
+    network = PointToPointNetwork(channels, 64, registry)
+    config = ProtocolConfig(kappa=kappa, mu=mu, symbol_size=64)
+    node_a, node_b = network.node_pair(config, registry)
+    adversary = Eavesdropper(
+        links=[duplex.forward for duplex in network.duplex],
+        risks=risks,
+        rng=registry.stream("adversary"),
+        scheme=ShamirScheme(),
+    )
+    originals = {}
+    payload_rng = registry.stream("payloads")
+    sent = {"count": 0}
+
+    def offer():
+        payload = payload_rng.bytes(64)
+        if node_a.send(payload):
+            originals[sent["count"]] = payload
+            sent["count"] += 1
+
+    t = 0.0
+    engine = network.engine
+    # Offer well below capacity so every symbol is transmitted.
+    for _ in range(symbols):
+        engine.schedule_at(t, offer)
+        t += 0.02
+    engine.run_until(t + 5.0)
+    return adversary, originals, node_a
+
+
+class TestEavesdropper:
+    def test_empirical_risk_matches_model(self):
+        risks = [0.3, 0.5, 0.4]
+        adversary, originals, node_a = run_with_adversary(risks, kappa=2.0, mu=3.0)
+        channels = ChannelSet.from_vectors(
+            risks=risks, losses=[0.0] * 3, delays=[0.0] * 3, rates=[1.0] * 3
+        )
+        predicted = subset_risk(channels, 2, [0, 1, 2])
+        empirical = adversary.compromise_rate(node_a.sender.stats.symbols_sent)
+        assert empirical == pytest.approx(predicted, abs=0.03)
+
+    def test_reconstructed_plaintexts_are_correct(self):
+        adversary, originals, _ = run_with_adversary(
+            [0.5, 0.5, 0.5], kappa=2.0, mu=3.0, symbols=500
+        )
+        assert adversary.compromised_count() > 0
+        assert adversary.verify_plaintexts(originals)
+
+    def test_zero_risk_channels_leak_nothing(self):
+        adversary, _, _ = run_with_adversary([0.0, 0.0, 0.0], kappa=1.0, mu=1.0, symbols=200)
+        assert adversary.compromised_count() == 0
+        assert adversary.shares_captured == 0
+
+    def test_full_risk_with_k1_compromises_everything(self):
+        adversary, _, node = run_with_adversary([1.0, 1.0, 1.0], kappa=1.0, mu=1.0, symbols=200)
+        assert adversary.compromised_count() == node.sender.stats.symbols_sent
+
+    def test_higher_kappa_reduces_compromise(self):
+        rates = {}
+        for kappa in (1.0, 3.0):
+            adversary, _, node = run_with_adversary(
+                [0.4, 0.4, 0.4], kappa=kappa, mu=3.0, symbols=1500
+            )
+            rates[kappa] = adversary.compromise_rate(node.sender.stats.symbols_sent)
+        assert rates[3.0] < rates[1.0]
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            Eavesdropper(links=[], risks=[0.5], rng=rng)
+
+
+class TestMonteCarloEstimators:
+    def test_subset_estimates_match_formulas(self, five_channels, rng):
+        estimate = estimate_subset_properties(five_channels, 3, [0, 1, 2, 3], rng, samples=150_000)
+        assert estimate.risk == pytest.approx(
+            subset_risk(five_channels, 3, [0, 1, 2, 3]), abs=0.01
+        )
+        assert estimate.loss == pytest.approx(
+            subset_loss(five_channels, 3, [0, 1, 2, 3]), abs=0.01
+        )
+
+    def test_schedule_estimates_match_formulas(self, five_channels, rng):
+        schedule = ShareSchedule(
+            five_channels,
+            {(1, frozenset({0, 4})): 0.4, (3, frozenset({0, 1, 2, 3, 4})): 0.6},
+        )
+        estimate = estimate_schedule_properties(schedule, rng, samples=150_000)
+        assert estimate.risk == pytest.approx(schedule.privacy_risk(), abs=0.01)
+        assert estimate.loss == pytest.approx(schedule.loss(), abs=0.01)
+        assert estimate.delay == pytest.approx(schedule.delay(), rel=0.05)
+
+    def test_max_privacy_schedule_estimate(self, five_channels, rng):
+        value, schedule = max_privacy_risk(five_channels)
+        estimate = estimate_schedule_properties(schedule, rng, samples=300_000)
+        assert estimate.risk == pytest.approx(value, abs=0.005)
+
+    def test_invalid_subset_rejected(self, five_channels, rng):
+        with pytest.raises(ValueError):
+            estimate_subset_properties(five_channels, 3, [0, 1], rng)

@@ -1,0 +1,129 @@
+"""The command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import load_channels, main
+
+CHANNELS = [
+    [0.3, 0.01, 0.25, 5.0],
+    [0.1, 0.005, 0.025, 20.0],
+    [0.25, 0.01, 1.25, 60.0],
+]
+
+
+@pytest.fixture
+def channels_file(tmp_path):
+    path = tmp_path / "channels.json"
+    path.write_text(json.dumps(CHANNELS))
+    return str(path)
+
+
+class TestLoadChannels:
+    def test_json_rows(self, channels_file):
+        channels = load_channels(channels_file, None)
+        assert channels.n == 3
+        assert channels[1].rate == 20.0
+
+    def test_json_objects(self, tmp_path):
+        path = tmp_path / "objs.json"
+        path.write_text(
+            json.dumps([{"risk": 0.1, "loss": 0.0, "delay": 0.5, "rate": 10.0}])
+        )
+        channels = load_channels(str(path), None)
+        assert channels[0].delay == 0.5
+
+    def test_inline(self):
+        channels = load_channels(None, [[0.1, 0.0, 0.5, 10.0]])
+        assert channels.n == 1
+
+    def test_both_rejected(self, channels_file):
+        with pytest.raises(ValueError):
+            load_channels(channels_file, [[0.1, 0.0, 0.5, 10.0]])
+
+    def test_neither_rejected(self):
+        with pytest.raises(ValueError):
+            load_channels(None, None)
+
+
+class TestRateCommand:
+    def test_basic(self, channels_file, capsys):
+        code = main(["rate", "--channels", channels_file, "--mu", "2.0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "n = 3 channels" in out
+        assert "Theorem 4" in out
+        assert "Z_C" in out
+
+    def test_inline_channels(self, capsys):
+        code = main(
+            ["rate", "--channel", "0.1,0.0,0.5,10", "--channel", "0.2,0.0,0.1,30"]
+        )
+        assert code == 0
+        assert "total rate = 40" in capsys.readouterr().out
+
+    def test_missing_channels_errors(self, capsys):
+        code = main(["rate"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestOptimizeCommand:
+    def test_privacy_at_max_rate(self, channels_file, capsys):
+        code = main(
+            ["optimize", "--channels", channels_file, "--kappa", "2", "--mu", "2.5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "kappa = 2.0000" in out
+        assert "atoms:" in out
+
+    def test_free_and_limited_flags(self, channels_file, capsys):
+        code = main(
+            [
+                "optimize", "--channels", channels_file,
+                "--kappa", "2", "--mu", "3", "--objective", "delay",
+                "--free", "--limited",
+            ]
+        )
+        assert code == 0
+
+    def test_invalid_parameters_reported(self, channels_file, capsys):
+        code = main(
+            ["optimize", "--channels", channels_file, "--kappa", "3", "--mu", "2"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestPlanCommand:
+    def test_feasible_plan(self, channels_file, capsys):
+        code = main(["plan", "--channels", channels_file, "--max-risk", "0.05"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "plan: kappa" in out
+        assert "risk =" in out
+
+    def test_infeasible_plan(self, channels_file, capsys):
+        code = main(["plan", "--channels", channels_file, "--max-risk", "0"])
+        assert code == 1
+        assert "no feasible plan" in capsys.readouterr().err
+
+
+class TestSimulateCommand:
+    def test_quick_run(self, channels_file, capsys):
+        code = main(
+            [
+                "simulate", "--channels", channels_file,
+                "--kappa", "1", "--mu", "1",
+                "--duration", "5", "--warmup", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "achieved rate" in out
+        assert "achieved/optimal" in out
+        # Sanity: the measured ratio printed is near 1.
+        ratio = float(out.split("achieved/optimal = ")[1].splitlines()[0])
+        assert 0.9 < ratio <= 1.0

@@ -1,0 +1,96 @@
+"""Channel and ChannelSet validation and accessors."""
+
+import numpy as np
+import pytest
+
+from repro.core.channel import Channel, ChannelSet
+
+
+class TestChannel:
+    def test_valid(self):
+        ch = Channel(risk=0.5, loss=0.1, delay=2.0, rate=10.0, name="a")
+        assert ch.risk == 0.5
+
+    def test_risk_bounds(self):
+        Channel(risk=0.0, loss=0.0, delay=0.0, rate=1.0)
+        Channel(risk=1.0, loss=0.0, delay=0.0, rate=1.0)
+        with pytest.raises(ValueError):
+            Channel(risk=1.1, loss=0.0, delay=0.0, rate=1.0)
+        with pytest.raises(ValueError):
+            Channel(risk=-0.1, loss=0.0, delay=0.0, rate=1.0)
+
+    def test_loss_strictly_below_one(self):
+        """A channel that never delivers is excluded from C (Sec. III-B)."""
+        Channel(risk=0.0, loss=0.999, delay=0.0, rate=1.0)
+        with pytest.raises(ValueError):
+            Channel(risk=0.0, loss=1.0, delay=0.0, rate=1.0)
+
+    def test_rate_strictly_positive(self):
+        with pytest.raises(ValueError):
+            Channel(risk=0.0, loss=0.0, delay=0.0, rate=0.0)
+        with pytest.raises(ValueError):
+            Channel(risk=0.0, loss=0.0, delay=0.0, rate=float("inf"))
+
+    def test_delay_nonnegative_finite(self):
+        with pytest.raises(ValueError):
+            Channel(risk=0.0, loss=0.0, delay=-1.0, rate=1.0)
+        with pytest.raises(ValueError):
+            Channel(risk=0.0, loss=0.0, delay=float("nan"), rate=1.0)
+
+
+class TestChannelSet:
+    def test_from_vectors(self, five_channels):
+        assert five_channels.n == 5
+        assert len(five_channels) == 5
+        assert five_channels.total_rate == pytest.approx(250.0)
+
+    def test_vector_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ChannelSet.from_vectors([0.1], [0.0, 0.0], [0.0], [1.0])
+
+    def test_names_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ChannelSet.from_vectors([0.1], [0.0], [0.0], [1.0], names=["a", "b"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelSet([])
+
+    def test_vectors(self, three_channels):
+        np.testing.assert_allclose(three_channels.risks, [0.2, 0.5, 0.1])
+        np.testing.assert_allclose(three_channels.losses, [0.1, 0.05, 0.2])
+        np.testing.assert_allclose(three_channels.delays, [2.0, 9.0, 10.0])
+        np.testing.assert_allclose(three_channels.rates, [3.0, 4.0, 8.0])
+
+    def test_indices(self, three_channels):
+        assert three_channels.indices == frozenset({0, 1, 2})
+
+    def test_subset_access(self, three_channels):
+        members = three_channels.subset([0, 2])
+        assert members[0].rate == 3.0
+        assert members[1].rate == 8.0
+
+    def test_subset_validation(self, three_channels):
+        assert three_channels.validate_subset([2, 0]) == frozenset({0, 2})
+        with pytest.raises(ValueError):
+            three_channels.validate_subset([])
+        with pytest.raises(IndexError):
+            three_channels.validate_subset([3])
+        with pytest.raises(IndexError):
+            three_channels.validate_subset([-1])
+
+    def test_equality_and_hash(self, three_channels):
+        clone = ChannelSet.from_vectors(
+            risks=[0.2, 0.5, 0.1],
+            losses=[0.1, 0.05, 0.2],
+            delays=[2.0, 9.0, 10.0],
+            rates=[3.0, 4.0, 8.0],
+        )
+        # Names differ (defaults applied by from_vectors are equal), so the
+        # sets compare equal.
+        assert clone == three_channels
+        assert hash(clone) == hash(three_channels)
+
+    def test_iteration_order(self, three_channels):
+        rates = [c.rate for c in three_channels]
+        assert rates == [3.0, 4.0, 8.0]

@@ -1,0 +1,128 @@
+"""Poisson-binomial machinery cross-checked against brute force."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.combinatorics import (
+    exact_received_probability,
+    poisson_binomial_cdf_below,
+    poisson_binomial_pmf,
+    poisson_binomial_tail,
+    subsets_of,
+)
+
+
+def brute_force_tail(probs, k):
+    """P(at least k successes) by summing over all outcome subsets."""
+    total = 0.0
+    n = len(probs)
+    for size in range(k, n + 1):
+        for successes in combinations(range(n), size):
+            p = 1.0
+            for i in range(n):
+                p *= probs[i] if i in successes else 1.0 - probs[i]
+            total += p
+    return total
+
+
+class TestSubsetsOf:
+    def test_all_subsets(self):
+        subsets = list(subsets_of([0, 1, 2]))
+        assert len(subsets) == 8
+        assert frozenset() in subsets
+        assert frozenset({0, 1, 2}) in subsets
+
+    def test_min_size(self):
+        subsets = list(subsets_of([0, 1, 2], min_size=2))
+        assert len(subsets) == 4
+        assert all(len(s) >= 2 for s in subsets)
+
+    def test_yields_increasing_size(self):
+        sizes = [len(s) for s in subsets_of(range(4))]
+        assert sizes == sorted(sizes)
+
+
+class TestPmf:
+    def test_empty(self):
+        np.testing.assert_allclose(poisson_binomial_pmf([]), [1.0])
+
+    def test_single_trial(self):
+        np.testing.assert_allclose(poisson_binomial_pmf([0.3]), [0.7, 0.3])
+
+    def test_binomial_special_case(self):
+        from scipy.stats import binom
+
+        pmf = poisson_binomial_pmf([0.3] * 6)
+        np.testing.assert_allclose(pmf, binom.pmf(range(7), 6, 0.3), atol=1e-12)
+
+    def test_sums_to_one(self):
+        pmf = poisson_binomial_pmf([0.1, 0.5, 0.9, 0.33])
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            poisson_binomial_pmf([0.5, 1.5])
+
+
+class TestTail:
+    def test_k_zero_is_one(self):
+        assert poisson_binomial_tail([0.5, 0.5], 0) == 1.0
+
+    def test_k_above_n_is_zero(self):
+        assert poisson_binomial_tail([0.5, 0.5], 3) == 0.0
+
+    def test_all_certain(self):
+        assert poisson_binomial_tail([1.0, 1.0], 2) == pytest.approx(1.0)
+
+    def test_all_impossible(self):
+        assert poisson_binomial_tail([0.0, 0.0], 1) == pytest.approx(0.0)
+
+    @given(
+        probs=st.lists(
+            st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=7
+        ),
+        k=st.integers(min_value=0, max_value=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_brute_force(self, probs, k):
+        assert poisson_binomial_tail(probs, k) == pytest.approx(
+            brute_force_tail(probs, min(k, len(probs) + 1)) if k <= len(probs) else 0.0,
+            abs=1e-10,
+        )
+
+    @given(
+        probs=st.lists(
+            st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=7
+        ),
+        k=st.integers(min_value=0, max_value=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_tail_plus_cdf_below_is_one(self, probs, k):
+        total = poisson_binomial_tail(probs, k) + poisson_binomial_cdf_below(probs, k)
+        assert total == pytest.approx(1.0)
+
+    def test_tail_monotone_in_k(self):
+        probs = [0.2, 0.7, 0.4, 0.9]
+        tails = [poisson_binomial_tail(probs, k) for k in range(6)]
+        assert all(a >= b - 1e-12 for a, b in zip(tails, tails[1:]))
+
+
+class TestExactReceivedProbability:
+    def test_sums_to_one_over_all_subsets(self):
+        losses = [0.1, 0.3, 0.5]
+        members = [0, 1, 2]
+        total = sum(
+            exact_received_probability(losses, received, members)
+            for received in subsets_of(members)
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_specific_value(self):
+        losses = [0.1, 0.3]
+        # Channel 0 delivers, channel 1 loses: 0.9 * 0.3.
+        p = exact_received_probability(losses, frozenset({0}), [0, 1])
+        assert p == pytest.approx(0.27)

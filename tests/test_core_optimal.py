@@ -1,0 +1,89 @@
+"""Fully-optimised extremes Z_C, L_C, D_C (Sec. IV-B)."""
+
+import numpy as np
+import pytest
+
+from repro.core.channel import ChannelSet
+from repro.core.optimal import max_privacy_risk, min_delay, min_loss
+from repro.core.properties import subset_delay
+
+
+class TestMaxPrivacy:
+    def test_value_is_product_of_risks(self, five_channels):
+        value, schedule = max_privacy_risk(five_channels)
+        assert value == pytest.approx(float(np.prod(five_channels.risks)))
+        assert schedule.kappa == five_channels.n
+        assert schedule.mu == five_channels.n
+
+    def test_schedule_attains_value(self, five_channels):
+        value, schedule = max_privacy_risk(five_channels)
+        assert schedule.privacy_risk() == pytest.approx(value)
+
+    def test_one_safe_channel_gives_zero_risk(self):
+        channels = ChannelSet.from_vectors(
+            risks=[0.9, 0.0], losses=[0.0, 0.0], delays=[0.0, 0.0], rates=[1.0, 1.0]
+        )
+        value, _ = max_privacy_risk(channels)
+        assert value == 0.0
+
+
+class TestMinLoss:
+    def test_value_is_product_of_losses(self, five_channels):
+        value, schedule = min_loss(five_channels)
+        assert value == pytest.approx(float(np.prod(five_channels.losses)))
+        assert schedule.kappa == 1.0
+        assert schedule.mu == five_channels.n
+
+    def test_schedule_attains_value(self, five_channels):
+        value, schedule = min_loss(five_channels)
+        assert schedule.loss() == pytest.approx(value)
+
+    def test_one_lossless_channel_gives_zero_loss(self):
+        channels = ChannelSet.from_vectors(
+            risks=[0.0, 0.0], losses=[0.5, 0.0], delays=[0.0, 0.0], rates=[1.0, 1.0]
+        )
+        value, _ = min_loss(channels)
+        assert value == 0.0
+
+
+class TestMinDelay:
+    def test_lossless_collapses_to_min(self, lossless_channels):
+        value, _ = min_delay(lossless_channels)
+        assert value == pytest.approx(2.0)
+
+    def test_equals_subset_delay_of_full_broadcast(self, five_channels):
+        # D_C is exactly d(1, C): the closed form is a rewriting of the
+        # subset-delay sum for k = 1.
+        value, schedule = min_delay(five_channels)
+        assert value == pytest.approx(subset_delay(five_channels, 1, range(5)))
+        assert schedule.delay() == pytest.approx(value)
+
+    def test_hand_computed_two_channels(self):
+        channels = ChannelSet.from_vectors(
+            risks=[0.0, 0.0],
+            losses=[0.5, 0.5],
+            delays=[1.0, 3.0],
+            rates=[1.0, 1.0],
+        )
+        # P(fast arrives) = .5 -> delay 1; else P(slow arrives) = .25 -> 3;
+        # conditioned on delivery (.75).
+        expected = (0.5 * 1.0 + 0.25 * 3.0) / 0.75
+        value, _ = min_delay(channels)
+        assert value == pytest.approx(expected)
+
+    def test_delay_order_with_ties(self):
+        channels = ChannelSet.from_vectors(
+            risks=[0.0] * 3,
+            losses=[0.2, 0.2, 0.2],
+            delays=[5.0, 5.0, 5.0],
+            rates=[1.0] * 3,
+        )
+        value, _ = min_delay(channels)
+        assert value == pytest.approx(5.0)
+
+    def test_min_delay_bracketed_by_channel_delays(self, five_channels):
+        # With loss, D_C is at least the fastest channel's delay (a lost
+        # fast share forces waiting on a slower one) and at most the
+        # slowest channel's.
+        value, _ = min_delay(five_channels)
+        assert five_channels.delays.min() - 1e-9 <= value <= five_channels.delays.max() + 1e-9

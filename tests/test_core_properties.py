@@ -1,0 +1,169 @@
+"""The subset privacy/loss/delay formulas of Sec. IV-A."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.channel import ChannelSet
+from repro.core.properties import (
+    kth_smallest_delay,
+    subset_delay,
+    subset_loss,
+    subset_risk,
+)
+
+
+def enumeration_risk(channels, k, members):
+    """The paper's literal z(k, M): sum over observer subsets K with |K| >= k."""
+    members = sorted(members)
+    total = 0.0
+    for size in range(k, len(members) + 1):
+        for observed in combinations(members, size):
+            p = 1.0
+            for i in members:
+                z = channels[i].risk
+                p *= z if i in observed else 1.0 - z
+            total += p
+    return total
+
+
+def enumeration_loss(channels, k, members):
+    """The paper's literal l(k, M): sum over received subsets K with |K| < k."""
+    members = sorted(members)
+    total = 0.0
+    for size in range(0, k):
+        for received in combinations(members, size):
+            p = 1.0
+            for i in members:
+                l = channels[i].loss
+                p *= (1.0 - l) if i in received else l
+            total += p
+    return total
+
+
+class TestSubsetRisk:
+    def test_matches_literal_enumeration(self, five_channels):
+        for k, members in [(1, [0]), (2, [0, 1, 2]), (3, [1, 2, 3, 4]), (5, [0, 1, 2, 3, 4])]:
+            assert subset_risk(five_channels, k, members) == pytest.approx(
+                enumeration_risk(five_channels, k, members)
+            )
+
+    def test_k_one_single_channel(self, five_channels):
+        assert subset_risk(five_channels, 1, [0]) == pytest.approx(0.3)
+
+    def test_k_equals_m_is_product(self, five_channels):
+        expected = np.prod([five_channels[i].risk for i in range(5)])
+        assert subset_risk(five_channels, 5, range(5)) == pytest.approx(float(expected))
+
+    def test_risk_decreases_with_k(self, five_channels):
+        members = [0, 1, 2, 3]
+        risks = [subset_risk(five_channels, k, members) for k in range(1, 5)]
+        assert all(a >= b - 1e-12 for a, b in zip(risks, risks[1:]))
+
+    def test_adding_channel_with_k_fixed_increases_risk(self, five_channels):
+        # More shares observed with the same threshold: strictly easier for
+        # the adversary.
+        r_small = subset_risk(five_channels, 2, [0, 1])
+        r_large = subset_risk(five_channels, 2, [0, 1, 2])
+        assert r_large >= r_small
+
+    def test_invalid_k_rejected(self, five_channels):
+        with pytest.raises(ValueError):
+            subset_risk(five_channels, 3, [0, 1])
+        with pytest.raises(ValueError):
+            subset_risk(five_channels, 0, [0])
+
+
+class TestSubsetLoss:
+    def test_matches_literal_enumeration(self, five_channels):
+        for k, members in [(1, [0]), (2, [0, 1, 2]), (4, [1, 2, 3, 4])]:
+            assert subset_loss(five_channels, k, members) == pytest.approx(
+                enumeration_loss(five_channels, k, members)
+            )
+
+    def test_k_one_full_set_is_product(self, five_channels):
+        expected = float(np.prod(five_channels.losses))
+        assert subset_loss(five_channels, 1, range(5)) == pytest.approx(expected)
+
+    def test_zero_loss_channels(self, lossless_channels):
+        assert subset_loss(lossless_channels, 2, [0, 1, 2]) == 0.0
+
+    def test_loss_increases_with_k(self, five_channels):
+        members = [0, 1, 2, 3]
+        losses = [subset_loss(five_channels, k, members) for k in range(1, 5)]
+        assert all(a <= b + 1e-12 for a, b in zip(losses, losses[1:]))
+
+    def test_redundancy_reduces_loss(self, five_channels):
+        # k fixed, more channels: harder to lose the symbol.
+        l_small = subset_loss(five_channels, 1, [0])
+        l_large = subset_loss(five_channels, 1, [0, 1])
+        assert l_large <= l_small
+
+
+class TestSubsetDelay:
+    def test_lossless_collapses_to_order_statistic(self, lossless_channels):
+        # Paper: "when all l_i = 0, this equation collapses to delta_M(k)".
+        for k in (1, 2, 3):
+            assert subset_delay(lossless_channels, k, [0, 1, 2]) == pytest.approx(
+                kth_smallest_delay(lossless_channels, [0, 1, 2], k)
+            )
+
+    def test_kth_smallest_delay(self, three_channels):
+        assert kth_smallest_delay(three_channels, [0, 1, 2], 1) == 2.0
+        assert kth_smallest_delay(three_channels, [0, 1, 2], 2) == 9.0
+        assert kth_smallest_delay(three_channels, [0, 1, 2], 3) == 10.0
+        with pytest.raises(ValueError):
+            kth_smallest_delay(three_channels, [0, 1], 3)
+
+    def test_single_channel(self, three_channels):
+        assert subset_delay(three_channels, 1, [1]) == pytest.approx(9.0)
+
+    def test_two_channel_hand_computation(self):
+        channels = ChannelSet.from_vectors(
+            risks=[0.0, 0.0],
+            losses=[0.5, 0.5],
+            delays=[1.0, 3.0],
+            rates=[1.0, 1.0],
+        )
+        # k=1: received sets {0}: .25 -> delay 1; {1}: .25 -> 3; both: .25 -> 1.
+        # Conditional on delivery (prob .75): (0.25*1 + 0.25*3 + 0.25*1)/0.75.
+        expected = (0.25 * 1 + 0.25 * 3 + 0.25 * 1) / 0.75
+        assert subset_delay(channels, 1, [0, 1]) == pytest.approx(expected)
+
+    def test_delay_increases_with_k(self, five_channels):
+        members = [0, 1, 2, 3, 4]
+        delays = [subset_delay(five_channels, k, members) for k in range(1, 6)]
+        assert all(a <= b + 1e-12 for a, b in zip(delays, delays[1:]))
+
+    def test_matches_monte_carlo(self, five_channels, rng):
+        from repro.adversary.montecarlo import estimate_subset_properties
+
+        estimate = estimate_subset_properties(five_channels, 2, [0, 2, 4], rng, samples=200_000)
+        assert subset_risk(five_channels, 2, [0, 2, 4]) == pytest.approx(
+            estimate.risk, abs=0.01
+        )
+        assert subset_loss(five_channels, 2, [0, 2, 4]) == pytest.approx(
+            estimate.loss, abs=0.01
+        )
+        assert subset_delay(five_channels, 2, [0, 2, 4]) == pytest.approx(
+            estimate.delay, rel=0.05
+        )
+
+
+@given(
+    risks=st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=5),
+    k=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=40, deadline=None)
+def test_risk_formula_property(risks, k):
+    n = len(risks)
+    k = min(k, n)
+    channels = ChannelSet.from_vectors(
+        risks=risks, losses=[0.0] * n, delays=[0.0] * n, rates=[1.0] * n
+    )
+    value = subset_risk(channels, k, range(n))
+    assert value == pytest.approx(enumeration_risk(channels, k, range(n)), abs=1e-9)
+    assert 0.0 <= value <= 1.0 + 1e-12

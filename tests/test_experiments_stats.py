@@ -1,0 +1,107 @@
+"""Replication statistics for experiment measurements."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.stats import ReplicatedValue, replicate, seeds_for, summarize
+
+
+class TestSummarize:
+    def test_single_value(self):
+        value = summarize([3.0])
+        assert value.mean == 3.0
+        assert value.half_width == 0.0
+
+    def test_identical_values_zero_width(self):
+        value = summarize([2.0, 2.0, 2.0])
+        assert value.half_width == 0.0
+
+    def test_interval_widens_with_variance(self):
+        tight = summarize([1.0, 1.01, 0.99, 1.0])
+        loose = summarize([1.0, 2.0, 0.0, 1.0])
+        assert loose.half_width > tight.half_width
+
+    def test_interval_contains_mean(self):
+        value = summarize([1.0, 2.0, 3.0])
+        assert value.contains(value.mean)
+        assert value.low <= 2.0 <= value.high
+
+    def test_matches_scipy_reference(self):
+        from scipy import stats as scipy_stats
+
+        data = [1.2, 1.5, 0.9, 1.1, 1.3]
+        value = summarize(data, confidence=0.95)
+        ref_low, ref_high = scipy_stats.t.interval(
+            0.95, df=len(data) - 1,
+            loc=np.mean(data), scale=scipy_stats.sem(data),
+        )
+        assert value.low == pytest.approx(ref_low)
+        assert value.high == pytest.approx(ref_high)
+
+    def test_coverage_statistical(self):
+        """~95% of intervals over N(0,1) samples should contain 0."""
+        rng = np.random.default_rng(0)
+        hits = 0
+        trials = 400
+        for _ in range(trials):
+            sample = rng.normal(size=8)
+            if summarize(sample).contains(0.0):
+                hits += 1
+        assert hits / trials == pytest.approx(0.95, abs=0.04)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            summarize([])
+        with pytest.raises(ValueError):
+            summarize([1.0], confidence=1.5)
+
+
+class TestReplicate:
+    def test_runs_once_per_seed(self):
+        calls = []
+
+        def measure(seed):
+            calls.append(seed)
+            return float(seed)
+
+        value = replicate(measure, [1, 2, 3])
+        assert calls == [1, 2, 3]
+        assert value.mean == pytest.approx(2.0)
+
+    def test_real_experiment_interval_contains_truth(self):
+        """Replicated iperf loss CI should cover the analytic value."""
+        from repro.core.channel import ChannelSet
+        from repro.core.properties import subset_loss
+        from repro.protocol.config import ProtocolConfig
+        from repro.workloads.iperf import run_iperf
+
+        channels = ChannelSet.from_vectors(
+            risks=[0.0] * 3, losses=[0.1] * 3, delays=[0.01] * 3, rates=[100.0] * 3
+        )
+        config = ProtocolConfig(kappa=2.0, mu=3.0, share_synthetic=True,
+                                reassembly_timeout=10.0)
+
+        def measure(seed):
+            result = run_iperf(
+                channels, config, offered_rate=50.0, duration=20.0, warmup=2.0,
+                seed=seed,
+            )
+            return result.loss_fraction
+
+        value = replicate(measure, seeds_for(5, 5))
+        truth = subset_loss(channels, 2, [0, 1, 2])
+        # Wide tolerance: CI plus a noise allowance for edge effects.
+        assert abs(value.mean - truth) < max(3 * value.half_width, 0.01)
+
+
+class TestSeedsFor:
+    def test_distinct_and_deterministic(self):
+        a = seeds_for(1, 5)
+        b = seeds_for(1, 5)
+        assert a == b
+        assert len(set(a)) == 5
+        assert seeds_for(2, 5) != a
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            seeds_for(1, 0)

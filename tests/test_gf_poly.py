@@ -1,0 +1,124 @@
+"""Polynomial evaluation and Lagrange interpolation over finite fields."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gf.gf256 import GF256_FIELD
+from repro.gf.gfp import PrimeField
+from repro.gf.poly import (
+    Polynomial,
+    evaluate,
+    lagrange_interpolate,
+    lagrange_interpolate_at,
+)
+
+GF251 = PrimeField(251)
+
+
+class TestEvaluate:
+    def test_constant(self):
+        assert evaluate(GF256_FIELD, [42], 17) == 42
+
+    def test_empty_coefficients_is_zero(self):
+        assert evaluate(GF256_FIELD, [], 5) == 0
+
+    def test_linear_over_prime_field(self):
+        # 3 + 5x at x=10 mod 251 = 53
+        assert evaluate(GF251, [3, 5], 10) == 53
+
+    def test_horner_matches_naive(self):
+        f = GF251
+        coeffs = [7, 0, 3, 9]
+        for x in range(0, 50, 7):
+            naive = 0
+            for power, c in enumerate(coeffs):
+                naive = f.add(naive, f.mul(c, f.pow(x, power)))
+            assert evaluate(f, coeffs, x) == naive
+
+
+class TestPolynomialWrapper:
+    def test_degree(self):
+        assert Polynomial(GF251, (0,)).degree == -1
+        assert Polynomial(GF251, (5,)).degree == 0
+        assert Polynomial(GF251, (5, 0, 3, 0)).degree == 2
+
+    def test_call_matches_evaluate(self):
+        p = Polynomial(GF251, (1, 2, 3))
+        assert p(7) == evaluate(GF251, (1, 2, 3), 7)
+
+    def test_add(self):
+        a = Polynomial(GF251, (1, 2))
+        b = Polynomial(GF251, (3, 4, 5))
+        c = a.add(b)
+        for x in range(10):
+            assert c(x) == GF251.add(a(x), b(x))
+
+    def test_mul(self):
+        a = Polynomial(GF251, (1, 2))
+        b = Polynomial(GF251, (3, 0, 5))
+        c = a.mul(b)
+        assert c.degree == 3
+        for x in range(10):
+            assert c(x) == GF251.mul(a(x), b(x))
+
+    def test_mul_by_zero_polynomial(self):
+        a = Polynomial(GF251, (1, 2))
+        z = Polynomial(GF251, (0,))
+        assert a.mul(z).degree == -1
+
+    def test_scale(self):
+        a = Polynomial(GF251, (1, 2, 3))
+        s = a.scale(10)
+        for x in range(5):
+            assert s(x) == GF251.mul(10, a(x))
+
+    def test_rejects_out_of_range_coefficients(self):
+        with pytest.raises(ValueError):
+            Polynomial(GF251, (251,))
+
+
+class TestInterpolation:
+    def test_recovers_polynomial_through_points(self):
+        f = GF251
+        coeffs = (17, 42, 7)
+        points = [(x, evaluate(f, coeffs, x)) for x in (1, 2, 3)]
+        poly = lagrange_interpolate(f, points)
+        for x in range(20):
+            assert poly(x) == evaluate(f, coeffs, x)
+
+    def test_interpolate_at_zero_recovers_constant_term(self):
+        f = GF256_FIELD
+        coeffs = (99, 3, 250)
+        points = [(x, evaluate(f, coeffs, x)) for x in (1, 5, 9)]
+        assert lagrange_interpolate_at(f, points, 0) == 99
+
+    def test_duplicate_x_rejected(self):
+        with pytest.raises(ValueError):
+            lagrange_interpolate_at(GF251, [(1, 2), (1, 3)], 0)
+        with pytest.raises(ValueError):
+            lagrange_interpolate(GF251, [(1, 2), (1, 3)])
+
+    def test_single_point_is_constant(self):
+        assert lagrange_interpolate_at(GF251, [(5, 123)], 77) == 123
+
+    @given(
+        coeffs=st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=5),
+        extra=st.integers(min_value=0, max_value=255),
+    )
+    def test_roundtrip_gf256(self, coeffs, extra):
+        f = GF256_FIELD
+        xs = list(range(1, len(coeffs) + 1))
+        points = [(x, evaluate(f, coeffs, x)) for x in xs]
+        assert lagrange_interpolate_at(f, points, 0) == coeffs[0]
+        # Interpolating at a sample point returns that sample.
+        assert lagrange_interpolate_at(f, points, xs[0]) == points[0][1]
+        del extra
+
+    @given(degree=st.integers(min_value=0, max_value=4))
+    def test_interpolated_polynomial_degree_bound(self, degree):
+        f = GF251
+        coeffs = tuple(range(1, degree + 2))
+        points = [(x, evaluate(f, coeffs, x)) for x in range(1, degree + 2)]
+        poly = lagrange_interpolate(f, points)
+        assert poly.degree <= degree

@@ -1,0 +1,153 @@
+"""End-to-end integration: protocol + simulator + model + adversary together."""
+
+import numpy as np
+import pytest
+
+from repro.core.channel import ChannelSet
+from repro.core.program import Objective, optimal_schedule
+from repro.core.properties import subset_loss
+from repro.netsim.rng import RngRegistry
+from repro.protocol.config import ProtocolConfig
+from repro.protocol.micss import MicssNode
+from repro.protocol.remicss import PointToPointNetwork
+from repro.sharing.blakley import BlakleyScheme
+from repro.workloads.setups import lossy_setup
+
+
+def run_stream(channels, config, symbols, rate, seed=1, schedule=None, drain=20.0):
+    """Send a stream of random payloads; return (sent list, delivered dict, nodes)."""
+    registry = RngRegistry(seed)
+    network = PointToPointNetwork(channels, config.symbol_size, registry)
+    node_a, node_b = network.node_pair(config, registry, schedule=schedule)
+    delivered = {}
+    node_b.on_deliver(lambda seq, payload, delay: delivered.__setitem__(seq, payload))
+    payload_rng = registry.stream("payloads")
+    sent = []
+
+    def offer():
+        payload = payload_rng.bytes(config.symbol_size)
+        if node_a.send(payload):
+            sent.append(payload)
+
+    engine = network.engine
+    t = 0.0
+    for _ in range(symbols):
+        engine.schedule_at(t, offer)
+        t += 1.0 / rate
+    engine.run_until(t + drain)
+    return sent, delivered, (node_a, node_b)
+
+
+class TestEndToEndIntegrity:
+    def test_every_delivered_symbol_is_intact(self):
+        channels = lossy_setup()
+        config = ProtocolConfig(kappa=2.0, mu=3.0, symbol_size=200)
+        sent, delivered, _ = run_stream(channels, config, symbols=800, rate=50.0)
+        assert len(delivered) > 700
+        for seq, payload in delivered.items():
+            assert payload == sent[seq]
+
+    def test_loss_rate_matches_subset_formula(self):
+        # Fixed integer (k, m): symbol loss should match l(k, M) for the
+        # channels the dynamic scheduler actually picks.  With identical
+        # loss on all channels the subset does not matter.
+        channels = ChannelSet.from_vectors(
+            risks=[0.0] * 4,
+            losses=[0.1] * 4,
+            delays=[0.01] * 4,
+            rates=[100.0] * 4,
+        )
+        config = ProtocolConfig(kappa=2.0, mu=3.0, symbol_size=100,
+                                reassembly_timeout=10.0)
+        sent, delivered, _ = run_stream(channels, config, symbols=4000, rate=100.0)
+        expected = subset_loss(channels, 2, [0, 1, 2])
+        measured = 1.0 - len(delivered) / len(sent)
+        assert measured == pytest.approx(expected, abs=0.015)
+
+    def test_explicit_lp_schedule_end_to_end(self):
+        channels = lossy_setup()
+        schedule = optimal_schedule(channels, Objective.LOSS, 2.0, 3.0, at_max_rate=True)
+        config = ProtocolConfig(kappa=2.0, mu=3.0, symbol_size=200)
+        sent, delivered, (node_a, _) = run_stream(
+            channels, config, symbols=1000, rate=60.0, schedule=schedule
+        )
+        assert len(delivered) > 900
+        for seq, payload in delivered.items():
+            assert payload == sent[seq]
+        # Channel usage follows the LP schedule's proportions.
+        usage = np.array(node_a.sender.shares_per_channel, dtype=float)
+        usage /= usage.sum()
+        target = schedule.channel_usage() / schedule.channel_usage().sum()
+        np.testing.assert_allclose(usage, target, atol=0.05)
+
+    def test_blakley_scheme_end_to_end(self):
+        channels = ChannelSet.from_vectors(
+            risks=[0.0] * 3, losses=[0.0] * 3, delays=[0.01] * 3, rates=[200.0] * 3
+        )
+        config = ProtocolConfig(
+            kappa=2.0, mu=3.0, symbol_size=48, scheme=BlakleyScheme(max_secret_len=48)
+        )
+        sent, delivered, _ = run_stream(channels, config, symbols=100, rate=20.0)
+        assert len(delivered) == 100
+        for seq, payload in delivered.items():
+            assert payload == sent[seq]
+
+    def test_determinism_end_to_end(self):
+        channels = lossy_setup()
+        config = ProtocolConfig(kappa=2.0, mu=3.5, symbol_size=100)
+        a = run_stream(channels, config, symbols=300, rate=40.0, seed=3)
+        b = run_stream(channels, config, symbols=300, rate=40.0, seed=3)
+        assert set(a[1]) == set(b[1])
+        assert a[1] == b[1]
+
+
+class TestMicssVsRemicss:
+    """The Sec. V comparison: best-effort threshold transport vs MICSS."""
+
+    def _channels(self):
+        return ChannelSet.from_vectors(
+            risks=[0.0] * 3,
+            losses=[0.05, 0.05, 0.05],
+            delays=[0.05] * 3,
+            rates=[50.0] * 3,
+        )
+
+    def test_remicss_needs_no_retransmission_when_k_below_m(self):
+        channels = self._channels()
+        config = ProtocolConfig(kappa=2.0, mu=3.0, symbol_size=100,
+                                reassembly_timeout=10.0)
+        sent, delivered, _ = run_stream(channels, config, symbols=1000, rate=30.0)
+        expected_loss = subset_loss(channels, 2, [0, 1, 2])
+        measured = 1.0 - len(delivered) / len(sent)
+        # Loses only the l(2, M) fraction with zero retransmissions.
+        assert measured == pytest.approx(expected_loss, abs=0.015)
+
+    def test_micss_delivers_everything_but_retransmits(self):
+        channels = self._channels()
+        registry = RngRegistry(2)
+        network = PointToPointNetwork(channels, 100, registry)
+        node_a = MicssNode(
+            network.engine, network.ports_a_out, network.ports_a_in, 100, registry,
+            name="a",
+        )
+        node_b = MicssNode(
+            network.engine, network.ports_b_out, network.ports_b_in, 100, registry,
+            name="b",
+        )
+        delivered = {}
+        node_b.on_deliver(lambda seq, payload, delay: delivered.__setitem__(seq, payload))
+        payload_rng = registry.stream("payloads")
+        sent = []
+
+        def offer():
+            payload = payload_rng.bytes(100)
+            if node_a.send(payload):
+                sent.append(payload)
+
+        engine = network.engine
+        for i in range(300):
+            engine.schedule_at(i / 30.0, offer)
+        engine.run_until(100.0)
+        assert len(delivered) == len(sent)
+        assert all(delivered[i] == sent[i] for i in range(len(sent)))
+        assert node_a.stats.retransmissions > 0

@@ -1,0 +1,105 @@
+"""The discrete-event engine: ordering, cancellation, clock discipline."""
+
+import pytest
+
+from repro.netsim.engine import Engine
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        engine = Engine()
+        order = []
+        engine.schedule(3.0, order.append, "c")
+        engine.schedule(1.0, order.append, "a")
+        engine.schedule(2.0, order.append, "b")
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_scheduling_order(self):
+        engine = Engine()
+        order = []
+        engine.schedule(1.0, order.append, 1)
+        engine.schedule(1.0, order.append, 2)
+        engine.schedule(1.0, order.append, 3)
+        engine.run()
+        assert order == [1, 2, 3]
+
+    def test_now_advances_during_run(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(5.0, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [5.0]
+
+    def test_run_until_stops_and_sets_clock(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(1.0, fired.append, "early")
+        engine.schedule(10.0, fired.append, "late")
+        engine.run_until(5.0)
+        assert fired == ["early"]
+        assert engine.now == 5.0
+        engine.run_until(20.0)
+        assert fired == ["early", "late"]
+
+    def test_callbacks_can_schedule_more(self):
+        engine = Engine()
+        hits = []
+
+        def recur(depth):
+            hits.append(engine.now)
+            if depth:
+                engine.schedule(1.0, recur, depth - 1)
+
+        engine.schedule(0.0, recur, 3)
+        engine.run()
+        assert hits == [0.0, 1.0, 2.0, 3.0]
+
+    def test_same_time_self_schedule_runs_after_peers(self):
+        engine = Engine()
+        order = []
+        engine.schedule(1.0, lambda: (order.append("first"), engine.schedule(0.0, order.append, "chained")))
+        engine.schedule(1.0, order.append, "second")
+        engine.run()
+        assert order == ["first", "second", "chained"]
+
+    def test_past_scheduling_rejected(self):
+        engine = Engine()
+        engine.run_until(5.0)
+        with pytest.raises(ValueError):
+            engine.schedule_at(4.0, lambda: None)
+        with pytest.raises(ValueError):
+            engine.schedule(-1.0, lambda: None)
+        with pytest.raises(ValueError):
+            engine.run_until(1.0)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        engine = Engine()
+        fired = []
+        event = engine.schedule(1.0, fired.append, "x")
+        event.cancel()
+        engine.run()
+        assert fired == []
+
+    def test_cancel_after_fire_is_safe(self):
+        engine = Engine()
+        event = engine.schedule(1.0, lambda: None)
+        engine.run()
+        event.cancel()  # no error
+
+    def test_pending_excludes_cancelled(self):
+        engine = Engine()
+        keep = engine.schedule(1.0, lambda: None)
+        drop = engine.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert engine.pending() == 1
+        del keep
+
+    def test_events_processed_counter(self):
+        engine = Engine()
+        for _ in range(5):
+            engine.schedule(1.0, lambda: None)
+        engine.run()
+        assert engine.events_processed == 5

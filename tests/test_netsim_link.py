@@ -1,0 +1,203 @@
+"""Links: serialisation rate, loss, delay, queueing and watchers."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.engine import Engine
+from repro.netsim.link import DuplexChannel, Link
+from repro.netsim.packet import Datagram
+
+
+def make_link(engine, byte_rate=100.0, loss=0.0, delay=0.0, queue_limit=4, seed=0):
+    return Link(
+        engine,
+        byte_rate=byte_rate,
+        loss=loss,
+        delay=delay,
+        rng=np.random.default_rng(seed),
+        queue_limit=queue_limit,
+    )
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        engine = Engine()
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            Link(engine, byte_rate=0.0, loss=0.0, delay=0.0, rng=rng)
+        with pytest.raises(ValueError):
+            Link(engine, byte_rate=1.0, loss=1.0, delay=0.0, rng=rng)
+        with pytest.raises(ValueError):
+            Link(engine, byte_rate=1.0, loss=0.0, delay=-1.0, rng=rng)
+        with pytest.raises(ValueError):
+            Link(engine, byte_rate=1.0, loss=0.0, delay=0.0, rng=rng, queue_limit=0)
+
+    def test_datagram_validation(self):
+        with pytest.raises(ValueError):
+            Datagram(size=0)
+        with pytest.raises(ValueError):
+            Datagram(size=2, payload=b"toolong")
+
+
+class TestSerialisation:
+    def test_delivery_time_is_size_over_rate_plus_delay(self):
+        engine = Engine()
+        link = make_link(engine, byte_rate=100.0, delay=2.0)
+        arrivals = []
+        link.set_receiver(lambda dg: arrivals.append(engine.now))
+        link.send(Datagram(size=50))
+        engine.run()
+        assert arrivals == [pytest.approx(0.5 + 2.0)]
+
+    def test_back_to_back_packets_serialise_sequentially(self):
+        engine = Engine()
+        link = make_link(engine, byte_rate=100.0)
+        arrivals = []
+        link.set_receiver(lambda dg: arrivals.append(engine.now))
+        for _ in range(3):
+            link.send(Datagram(size=100))
+        engine.run()
+        assert arrivals == [pytest.approx(1.0), pytest.approx(2.0), pytest.approx(3.0)]
+
+    def test_throughput_matches_byte_rate(self):
+        engine = Engine()
+        link = make_link(engine, byte_rate=1000.0, queue_limit=10_000)
+        delivered_bytes = []
+        link.set_receiver(lambda dg: delivered_bytes.append(dg.size))
+        for _ in range(100):
+            link.send(Datagram(size=100))
+        engine.run()
+        assert sum(delivered_bytes) == 10_000
+        assert engine.now == pytest.approx(10.0)  # 10k bytes at 1k B/unit
+
+    def test_delivery_preserves_order(self):
+        engine = Engine()
+        link = make_link(engine, byte_rate=50.0, delay=1.0, queue_limit=100)
+        seen = []
+        link.set_receiver(lambda dg: seen.append(dg.meta["n"]))
+        for n in range(10):
+            link.send(Datagram(size=10, meta={"n": n}))
+        engine.run()
+        assert seen == list(range(10))
+
+
+class TestQueueing:
+    def test_tail_drop_when_full(self):
+        engine = Engine()
+        link = make_link(engine, queue_limit=2)
+        results = [link.send(Datagram(size=10)) for _ in range(5)]
+        # First is dequeued immediately for serialisation; two more queue;
+        # the rest are dropped.
+        assert results[:3] == [True, True, True]
+        assert results[3:] == [False, False]
+        assert link.stats.queue_drops == 2
+
+    def test_writable_reflects_queue_headroom(self):
+        engine = Engine()
+        link = make_link(engine, queue_limit=1)
+        assert link.writable()
+        link.send(Datagram(size=10))  # starts serialising, queue empty
+        assert link.writable()
+        link.send(Datagram(size=10))  # now queued
+        assert not link.writable()
+
+    def test_writable_watcher_fires_on_transition(self):
+        engine = Engine()
+        link = make_link(engine, byte_rate=10.0, queue_limit=1)
+        events = []
+        link.watch_writable(lambda: events.append(engine.now))
+        link.send(Datagram(size=10))
+        link.send(Datagram(size=10))  # fills the queue
+        engine.run()
+        # Fires when the queued packet starts serialising (t = 1.0).
+        assert events == [pytest.approx(1.0)]
+
+    def test_no_watcher_fire_without_full_queue(self):
+        engine = Engine()
+        link = make_link(engine, queue_limit=4)
+        events = []
+        link.watch_writable(lambda: events.append(1))
+        link.send(Datagram(size=10))
+        engine.run()
+        assert events == []
+
+
+class TestLossAndTaps:
+    def test_loss_rate_statistical(self):
+        engine = Engine()
+        link = make_link(engine, byte_rate=1e6, loss=0.3, queue_limit=100_000, seed=42)
+        delivered = []
+        link.set_receiver(lambda dg: delivered.append(1))
+        n = 10_000
+        for _ in range(n):
+            link.send(Datagram(size=1))
+        engine.run()
+        assert len(delivered) / n == pytest.approx(0.7, abs=0.02)
+        assert link.stats.loss_drops + link.stats.delivered == n
+
+    def test_zero_loss_delivers_everything(self):
+        engine = Engine()
+        link = make_link(engine, queue_limit=1000)
+        count = []
+        link.set_receiver(lambda dg: count.append(1))
+        for _ in range(50):
+            link.send(Datagram(size=1))
+        engine.run()
+        assert len(count) == 50
+
+    def test_transmit_tap_sees_lost_packets(self):
+        """Observation happens at send time: taps fire before the loss draw."""
+        engine = Engine()
+        link = make_link(engine, byte_rate=1e6, loss=0.5, queue_limit=10_000, seed=1)
+        tapped = []
+        link.watch_transmit(lambda dg: tapped.append(1))
+        delivered = []
+        link.set_receiver(lambda dg: delivered.append(1))
+        for _ in range(1000):
+            link.send(Datagram(size=1))
+        engine.run()
+        assert len(tapped) == 1000
+        assert len(delivered) < 700
+
+    def test_stats_counters_consistent(self):
+        engine = Engine()
+        link = make_link(engine, byte_rate=100.0, loss=0.2, queue_limit=3, seed=5)
+        link.set_receiver(lambda dg: None)
+        for _ in range(20):
+            link.send(Datagram(size=10))
+        engine.run()
+        s = link.stats
+        assert s.offered == 20
+        assert s.serialized == s.offered - s.queue_drops
+        assert s.delivered == s.serialized - s.loss_drops
+
+
+class TestDuplex:
+    def test_directions_are_independent(self):
+        engine = Engine()
+        duplex = DuplexChannel(
+            engine,
+            byte_rate=100.0,
+            loss=0.0,
+            delay=0.5,
+            forward_rng=np.random.default_rng(0),
+            reverse_rng=np.random.default_rng(1),
+            name="chan",
+        )
+        fwd, rev = [], []
+        duplex.forward.set_receiver(lambda dg: fwd.append(engine.now))
+        duplex.reverse.set_receiver(lambda dg: rev.append(engine.now))
+        duplex.forward.send(Datagram(size=100))
+        duplex.reverse.send(Datagram(size=50))
+        engine.run()
+        assert fwd == [pytest.approx(1.5)]
+        assert rev == [pytest.approx(1.0)]
+
+    def test_names(self):
+        engine = Engine()
+        duplex = DuplexChannel(
+            engine, 1.0, 0.0, 0.0,
+            np.random.default_rng(0), np.random.default_rng(1), name="x",
+        )
+        assert duplex.forward.name == "x:fwd"
+        assert duplex.reverse.name == "x:rev"

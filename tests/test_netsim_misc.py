@@ -1,0 +1,226 @@
+"""CPU model, rng registry, trace meters, ports and readiness selector."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.netsim.engine import Engine
+from repro.netsim.host import CpuModel
+from repro.netsim.link import Link
+from repro.netsim.packet import Datagram
+from repro.netsim.ports import ChannelPort
+from repro.netsim.readiness import WriteSelector
+from repro.netsim.rng import RngRegistry
+from repro.netsim.trace import DelayStats, RateMeter
+
+
+class TestCpuModel:
+    def test_infinite_capacity_runs_synchronously(self):
+        engine = Engine()
+        cpu = CpuModel(engine)
+        ran = []
+        assert cpu.submit(100.0, lambda: ran.append(engine.now))
+        assert ran == [0.0]
+
+    def test_finite_capacity_paces_work(self):
+        engine = Engine()
+        cpu = CpuModel(engine, capacity=10.0)
+        done = []
+        for _ in range(3):
+            cpu.submit(10.0, lambda: done.append(engine.now))
+        engine.run()
+        assert done == [pytest.approx(1.0), pytest.approx(2.0), pytest.approx(3.0)]
+
+    def test_queue_limit_rejects(self):
+        engine = Engine()
+        cpu = CpuModel(engine, capacity=1.0, queue_limit=2)
+        accepted = [cpu.submit(1.0, lambda: None) for _ in range(5)]
+        # First starts immediately (popped off the queue), two wait, rest drop.
+        assert accepted == [True, True, True, False, False]
+        assert cpu.rejected == 2
+
+    def test_saturated_and_backlog(self):
+        engine = Engine()
+        cpu = CpuModel(engine, capacity=1.0)
+        cpu.submit(5.0, lambda: None)
+        cpu.submit(5.0, lambda: None)
+        assert cpu.saturated()
+        assert cpu.backlog == 1
+        engine.run()
+        assert not cpu.saturated()
+
+    def test_busy_time_accounting(self):
+        engine = Engine()
+        cpu = CpuModel(engine, capacity=2.0)
+        cpu.submit(4.0, lambda: None)
+        engine.run()
+        assert cpu.busy_time == pytest.approx(2.0)
+        assert cpu.completed == 1
+
+    def test_invalid_parameters(self):
+        engine = Engine()
+        with pytest.raises(ValueError):
+            CpuModel(engine, capacity=0.0)
+        with pytest.raises(ValueError):
+            CpuModel(engine, capacity=1.0, queue_limit=0)
+        cpu = CpuModel(engine, capacity=1.0)
+        with pytest.raises(ValueError):
+            cpu.submit(-1.0, lambda: None)
+
+
+class TestRngRegistry:
+    def test_same_name_same_stream_object(self):
+        registry = RngRegistry(1)
+        assert registry.stream("a") is registry.stream("a")
+
+    def test_different_names_independent(self):
+        registry = RngRegistry(1)
+        a = registry.stream("a").random(4)
+        b = registry.stream("b").random(4)
+        assert not np.allclose(a, b)
+
+    def test_same_seed_reproducible(self):
+        x = RngRegistry(42).stream("link0").random(8)
+        y = RngRegistry(42).stream("link0").random(8)
+        np.testing.assert_array_equal(x, y)
+
+    def test_different_seed_differs(self):
+        x = RngRegistry(1).stream("link0").random(8)
+        y = RngRegistry(2).stream("link0").random(8)
+        assert not np.allclose(x, y)
+
+    def test_stream_isolation_from_creation_order(self):
+        r1 = RngRegistry(7)
+        r1.stream("noise").random(100)
+        value1 = r1.stream("target").random()
+        r2 = RngRegistry(7)
+        value2 = r2.stream("target").random()
+        assert value1 == value2
+
+    def test_fork_changes_streams(self):
+        base = RngRegistry(7)
+        fork = base.fork("rep1")
+        assert base.stream("x").random() != fork.stream("x").random()
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            RngRegistry(-1)
+
+
+class TestRateMeter:
+    def test_window_accounting(self):
+        meter = RateMeter()
+        meter.record(0.5)  # before start: ignored
+        meter.start(1.0)
+        meter.record(1.5, size=10)
+        meter.record(2.5, size=10)
+        meter.stop(3.0)
+        meter.record(3.5)  # after stop: ignored
+        assert meter.count == 2
+        assert meter.rate() == pytest.approx(1.0)
+        assert meter.byte_rate() == pytest.approx(10.0)
+
+    def test_unstarted_meter_raises(self):
+        with pytest.raises(RuntimeError):
+            RateMeter().rate()
+
+
+class TestDelayStats:
+    def test_moments(self):
+        stats = DelayStats()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            stats.record(v)
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.variance == pytest.approx(np.var([1, 2, 3, 4], ddof=1))
+        assert stats.stddev == pytest.approx(math.sqrt(stats.variance))
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+
+    def test_single_observation(self):
+        stats = DelayStats()
+        stats.record(5.0)
+        assert stats.variance == 0.0
+
+    def test_merge_matches_pooled(self):
+        rng = np.random.default_rng(0)
+        xs, ys = rng.normal(size=50), rng.normal(loc=3, size=70)
+        a, b = DelayStats(), DelayStats()
+        for v in xs:
+            a.record(v)
+        for v in ys:
+            b.record(v)
+        merged = a.merge(b)
+        pooled = np.concatenate([xs, ys])
+        assert merged.count == 120
+        assert merged.mean == pytest.approx(pooled.mean())
+        assert merged.variance == pytest.approx(pooled.var(ddof=1))
+
+    def test_merge_with_empty(self):
+        a = DelayStats()
+        b = DelayStats()
+        b.record(1.0)
+        assert a.merge(b) is b
+        assert b.merge(a) is b
+
+
+def _port(engine, index, queue_limit=4, byte_rate=100.0):
+    link = Link(
+        engine, byte_rate=byte_rate, loss=0.0, delay=0.0,
+        rng=np.random.default_rng(index), queue_limit=queue_limit,
+    )
+    return ChannelPort(index, link)
+
+
+class TestPortsAndSelector:
+    def test_port_send_and_receive(self):
+        engine = Engine()
+        port = _port(engine, 0)
+        got = []
+        port.on_receive(lambda dg: got.append(dg.size))
+        port.send(Datagram(size=10))
+        engine.run()
+        assert got == [10]
+
+    def test_headroom(self):
+        engine = Engine()
+        port = _port(engine, 0, queue_limit=3)
+        assert port.headroom == 3
+        port.send(Datagram(size=10))  # serialising, not queued
+        port.send(Datagram(size=10))  # queued
+        assert port.headroom == 2
+
+    def test_selector_needs_enough_ready(self):
+        engine = Engine()
+        ports = [_port(engine, i, queue_limit=1) for i in range(3)]
+        selector = WriteSelector(ports)
+        assert len(selector.select(3)) == 3
+        # Fill one port's queue entirely.
+        ports[0].send(Datagram(size=1000))
+        ports[0].send(Datagram(size=1000))
+        assert not ports[0].writable()
+        assert selector.select(3) == []
+        assert len(selector.select(2)) == 2
+
+    def test_headroom_ordering_prefers_emptier(self):
+        engine = Engine()
+        ports = [_port(engine, i, queue_limit=4) for i in range(3)]
+        ports[1].send(Datagram(size=1000))
+        ports[1].send(Datagram(size=1000))
+        selector = WriteSelector(ports, ordering="headroom")
+        chosen = selector.select(2)
+        assert [p.index for p in chosen] == [0, 2]
+
+    def test_fixed_ordering_is_index_order(self):
+        engine = Engine()
+        ports = [_port(engine, i, queue_limit=4) for i in range(3)]
+        ports[0].send(Datagram(size=1000))
+        ports[0].send(Datagram(size=1000))
+        selector = WriteSelector(ports, ordering="fixed")
+        chosen = selector.select(2)
+        assert [p.index for p in chosen] == [0, 1]
+
+    def test_unknown_ordering_rejected(self):
+        engine = Engine()
+        with pytest.raises(ValueError):
+            WriteSelector([_port(engine, 0)], ordering="random")

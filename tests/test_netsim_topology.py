@@ -1,0 +1,180 @@
+"""Multi-hop topology: routed paths, shared edges, edge-tap adversary."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.overlap import joint_subset_risk
+from repro.netsim.rng import RngRegistry
+from repro.netsim.topology import EdgeTapAdversary, TopologyNetwork
+from repro.protocol.config import ProtocolConfig
+
+
+def simple_graph(overrides=None):
+    """s - {a, b} - t diamond plus a trunk s - m - t."""
+    overrides = overrides or {}
+    defaults = {"risk": 0.0, "loss": 0.0, "delay": 0.01, "rate": 100.0}
+    graph = nx.Graph()
+    for u, v in [("s", "a"), ("a", "t"), ("s", "b"), ("b", "t"), ("s", "m"), ("m", "t")]:
+        graph.add_edge(u, v, **{**defaults, **overrides.get((u, v), {})})
+    return graph
+
+
+DISJOINT = [["s", "a", "t"], ["s", "b", "t"], ["s", "m", "t"]]
+
+
+class TestConstruction:
+    def test_paths_must_share_endpoints(self):
+        graph = simple_graph()
+        with pytest.raises(ValueError):
+            TopologyNetwork(graph, [["s", "a", "t"], ["s", "b"]], 100, RngRegistry(1))
+
+    def test_missing_edge_rejected(self):
+        graph = simple_graph()
+        with pytest.raises(ValueError):
+            TopologyNetwork(graph, [["s", "t"]], 100, RngRegistry(1))
+
+    def test_missing_rate_rejected(self):
+        graph = nx.Graph()
+        graph.add_edge("s", "t", loss=0.0)
+        with pytest.raises(KeyError):
+            TopologyNetwork(graph, [["s", "t"]], 100, RngRegistry(1))
+
+    def test_links_shared_between_overlapping_paths(self):
+        graph = simple_graph()
+        graph.add_edge("m", "a", risk=0.0, loss=0.0, delay=0.01, rate=100.0)
+        network = TopologyNetwork(
+            graph, [["s", "m", "t"], ["s", "m", "a", "t"]], 100, RngRegistry(1)
+        )
+        # s->m instantiated once even though two paths cross it.
+        assert ("s", "m") in network.links
+        count = sum(1 for key in network.links if key == ("s", "m"))
+        assert count == 1
+
+    def test_empty_paths_rejected(self):
+        with pytest.raises(ValueError):
+            TopologyNetwork(simple_graph(), [], 100, RngRegistry(1))
+
+
+class TestRouting:
+    def test_end_to_end_protocol_over_paths(self):
+        graph = simple_graph()
+        registry = RngRegistry(2)
+        network = TopologyNetwork(graph, DISJOINT, 100, registry)
+        config = ProtocolConfig(kappa=2.0, mu=3.0, symbol_size=100)
+        node_a, node_b = network.node_pair(config, registry)
+        delivered = {}
+        node_b.on_deliver(lambda seq, payload, delay: delivered.__setitem__(seq, payload))
+        payloads = [bytes([i]) * 100 for i in range(50)]
+        for i, payload in enumerate(payloads):
+            network.engine.schedule_at(i * 0.05, node_a.send, payload)
+        network.engine.run_until(20.0)
+        assert len(delivered) == 50
+        assert all(delivered[i] == payloads[i] for i in range(50))
+
+    def test_bidirectional_over_paths(self):
+        graph = simple_graph()
+        registry = RngRegistry(3)
+        network = TopologyNetwork(graph, DISJOINT, 100, registry)
+        config = ProtocolConfig(kappa=1.0, mu=1.0, symbol_size=100)
+        node_a, node_b = network.node_pair(config, registry)
+        to_b, to_a = [], []
+        node_b.on_deliver(lambda seq, payload, delay: to_b.append(payload))
+        node_a.on_deliver(lambda seq, payload, delay: to_a.append(payload))
+        node_a.send(b"x" * 100)
+        node_b.send(b"y" * 100)
+        network.engine.run_until(5.0)
+        assert to_b == [b"x" * 100]
+        assert to_a == [b"y" * 100]
+
+    def test_multihop_delay_accumulates(self):
+        graph = simple_graph()
+        registry = RngRegistry(4)
+        # Single two-hop path: delay should be ~2 x 0.01 plus serialisation.
+        network = TopologyNetwork(graph, [["s", "a", "t"]], 100, registry)
+        config = ProtocolConfig(kappa=1.0, mu=1.0, symbol_size=100)
+        node_a, node_b = network.node_pair(config, registry)
+        delays = []
+        node_b.on_deliver(lambda seq, payload, delay: delays.append(delay))
+        node_a.send(bytes(100))
+        network.engine.run_until(5.0)
+        assert len(delays) == 1
+        serialisation = (100 + 16) / (100.0 * 100)
+        assert delays[0] == pytest.approx(2 * 0.01 + 2 * serialisation, abs=1e-6)
+
+    def test_shared_bottleneck_limits_throughput(self):
+        # Two paths over one shared trunk of rate 50 symbols/unit.
+        graph = nx.Graph()
+        base = {"risk": 0.0, "loss": 0.0, "delay": 0.0, "rate": 50.0}
+        for u, v in [("s", "m"), ("m", "a"), ("m", "b"), ("a", "t"), ("b", "t")]:
+            graph.add_edge(u, v, **dict(base))
+        registry = RngRegistry(5)
+        network = TopologyNetwork(
+            graph, [["s", "m", "a", "t"], ["s", "m", "b", "t"]], 100, registry
+        )
+        config = ProtocolConfig(kappa=1.0, mu=1.0, symbol_size=100, share_synthetic=True)
+        node_a, node_b = network.node_pair(config, registry)
+        delivered = []
+        node_b.on_deliver(lambda seq, payload, delay: delivered.append(seq))
+        engine = network.engine
+
+        def offer():
+            node_a.send(None)
+            if engine.now < 20.0:
+                engine.schedule(1.0 / 100.0, offer)  # offer 100 sym/unit
+
+        engine.schedule_at(0.0, offer)
+        engine.run_until(25.0)
+        achieved = len(delivered) / 25.0
+        # Both paths bottleneck on the shared s->m edge: ~50 total, not 100.
+        assert achieved < 55.0
+        assert achieved > 35.0
+
+
+class TestEdgeTapAdversary:
+    def _run(self, graph, paths, kappa, mu, symbols=4000, seed=6):
+        registry = RngRegistry(seed)
+        network = TopologyNetwork(graph, paths, 64, registry)
+        config = ProtocolConfig(
+            kappa=kappa, mu=mu, symbol_size=64, share_synthetic=True
+        )
+        node_a, node_b = network.node_pair(config, registry)
+        adversary = EdgeTapAdversary(network, registry.stream("taps"))
+        engine = network.engine
+        for i in range(symbols):
+            engine.schedule_at(i * 0.05, node_a.send, None)
+        engine.run_until(symbols * 0.05 + 5.0)
+        return adversary, node_a
+
+    def test_disjoint_paths_match_independent_model(self):
+        graph = simple_graph({
+            ("s", "a"): {"risk": 0.3},
+            ("s", "b"): {"risk": 0.25},
+            ("s", "m"): {"risk": 0.35},
+        })
+        adversary, node_a = self._run(graph, DISJOINT, kappa=2.0, mu=3.0)
+        predicted = joint_subset_risk(graph, DISJOINT, 2)
+        empirical = adversary.compromise_rate(node_a.sender.stats.symbols_sent)
+        assert empirical == pytest.approx(predicted, abs=0.03)
+
+    def test_shared_trunk_matches_joint_model_not_independent(self):
+        from repro.core.overlap import independent_subset_risk
+
+        graph = nx.Graph()
+        base = {"risk": 0.0, "loss": 0.0, "delay": 0.001, "rate": 200.0}
+        graph.add_edge("s", "m", **{**base, "risk": 0.4})
+        for u, v in [("m", "a"), ("m", "b"), ("a", "t"), ("b", "t")]:
+            graph.add_edge(u, v, **dict(base))
+        paths = [["s", "m", "a", "t"], ["s", "m", "b", "t"]]
+        adversary, node_a = self._run(graph, paths, kappa=2.0, mu=2.0)
+        joint = joint_subset_risk(graph, paths, 2)  # 0.4: one tap gets both
+        independent = independent_subset_risk(graph, paths, 2)  # 0.16
+        empirical = adversary.compromise_rate(node_a.sender.stats.symbols_sent)
+        assert empirical == pytest.approx(joint, abs=0.03)
+        assert abs(empirical - independent) > 0.15
+
+    def test_zero_risk_edges_capture_nothing(self):
+        graph = simple_graph()
+        adversary, _ = self._run(graph, DISJOINT, kappa=1.0, mu=1.0, symbols=200)
+        assert adversary.shares_observed == 0
+        assert not adversary.compromised

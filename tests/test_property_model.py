@@ -1,0 +1,134 @@
+"""Cross-cutting property tests: LP optimality dominance, model coherence,
+and randomized end-to-end protocol integrity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.channel import ChannelSet
+from repro.core.program import (
+    Objective,
+    optimal_property_value,
+    theorem5_schedule,
+)
+from repro.core.rate import optimal_rate
+from repro.core.schedule import ShareSchedule
+
+channel_sets = st.integers(min_value=2, max_value=5).flatmap(
+    lambda n: st.tuples(
+        st.lists(st.floats(0.0, 1.0), min_size=n, max_size=n),
+        st.lists(st.floats(0.0, 0.5), min_size=n, max_size=n),
+        st.lists(st.floats(0.0, 5.0), min_size=n, max_size=n),
+        st.lists(st.floats(0.5, 50.0), min_size=n, max_size=n),
+    )
+)
+
+
+def build_channels(spec) -> ChannelSet:
+    risks, losses, delays, rates = spec
+    return ChannelSet.from_vectors(risks, losses, delays, rates)
+
+
+@given(
+    spec=channel_sets,
+    kappa_frac=st.floats(0.0, 1.0),
+    mu_frac=st.floats(0.0, 1.0),
+)
+@settings(max_examples=30, deadline=None)
+def test_lp_optimum_dominates_any_feasible_schedule(spec, kappa_frac, mu_frac):
+    """The LP value is a true lower bound: no feasible schedule beats it."""
+    channels = build_channels(spec)
+    n = channels.n
+    mu = 1.0 + mu_frac * (n - 1)
+    kappa = 1.0 + kappa_frac * (mu - 1.0)
+    # A feasible (non-optimal) schedule with the same averages.
+    feasible = theorem5_schedule(channels, kappa, mu)
+    for objective, value in (
+        (Objective.PRIVACY, feasible.privacy_risk()),
+        (Objective.LOSS, feasible.loss()),
+        (Objective.DELAY, feasible.delay()),
+    ):
+        optimum = optimal_property_value(channels, objective, kappa, mu)
+        assert optimum <= value + 1e-7
+
+
+@given(spec=channel_sets, mu_frac=st.floats(0.0, 1.0))
+@settings(max_examples=30, deadline=None)
+def test_max_rate_schedule_exists_and_sustains_rc(spec, mu_frac):
+    """The IV-D program is always feasible and its schedule sustains R_C."""
+    from repro.core.program import optimal_schedule
+
+    channels = build_channels(spec)
+    n = channels.n
+    mu = 1.0 + mu_frac * (n - 1)
+    kappa = 1.0 + 0.5 * (mu - 1.0)
+    schedule = optimal_schedule(
+        channels, Objective.LOSS, kappa, mu, at_max_rate=True
+    )
+    assert schedule.kappa == pytest.approx(kappa, abs=1e-5)
+    assert schedule.mu == pytest.approx(mu, abs=1e-5)
+    assert schedule.max_symbol_rate() == pytest.approx(
+        optimal_rate(channels, mu), rel=1e-5
+    )
+
+
+@given(spec=channel_sets)
+@settings(max_examples=30, deadline=None)
+def test_extreme_schedules_consistent_with_lp(spec):
+    """Closed-form extremes equal the LP at the corner parameters."""
+    from repro.core.optimal import max_privacy_risk, min_loss
+
+    channels = build_channels(spec)
+    n = float(channels.n)
+    z_formula, _ = max_privacy_risk(channels)
+    z_lp = optimal_property_value(channels, Objective.PRIVACY, n, n)
+    assert z_lp == pytest.approx(z_formula, abs=1e-9)
+    l_formula, _ = min_loss(channels)
+    l_lp = optimal_property_value(channels, Objective.LOSS, 1.0, n)
+    assert l_lp == pytest.approx(l_formula, abs=1e-9)
+
+
+@given(
+    n=st.integers(min_value=2, max_value=4),
+    kappa_step=st.integers(min_value=0, max_value=2),
+    loss=st.floats(0.0, 0.2),
+    seed=st.integers(min_value=0, max_value=50),
+)
+@settings(max_examples=15, deadline=None)
+def test_protocol_integrity_fuzz(n, kappa_step, loss, seed):
+    """Random small networks: every delivered payload is byte-exact."""
+    from repro.netsim.rng import RngRegistry
+    from repro.protocol.config import ProtocolConfig
+    from repro.protocol.remicss import PointToPointNetwork
+
+    channels = ChannelSet.from_vectors(
+        risks=[0.0] * n,
+        losses=[loss] * n,
+        delays=[0.01] * n,
+        rates=[100.0] * n,
+    )
+    kappa = float(min(1 + kappa_step, n))
+    config = ProtocolConfig(
+        kappa=kappa, mu=float(n), symbol_size=64, reassembly_timeout=10.0
+    )
+    registry = RngRegistry(seed)
+    network = PointToPointNetwork(channels, 64, registry)
+    node_a, node_b = network.node_pair(config, registry)
+    delivered = {}
+    node_b.on_deliver(lambda s, payload, d: delivered.__setitem__(s, payload))
+    payload_rng = registry.stream("fuzz")
+    sent = []
+
+    def offer():
+        payload = payload_rng.bytes(64)
+        if node_a.send(payload):
+            sent.append(payload)
+
+    for i in range(60):
+        network.engine.schedule_at(i * 0.05, offer)
+    network.engine.run_until(15.0)
+    assert all(delivered[s] == sent[s] for s in delivered)
+    # Lossless runs must deliver everything.
+    if loss == 0.0:
+        assert len(delivered) == len(sent)

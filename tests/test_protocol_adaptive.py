@@ -1,0 +1,141 @@
+"""The adaptive controller: monitoring -> plan -> sampler swap."""
+
+import numpy as np
+import pytest
+
+from repro.adversary.riskassess import HmmRiskEstimator, HmmRiskModel
+from repro.core.channel import ChannelSet
+from repro.core.planner import Requirements
+from repro.netsim.rng import RngRegistry
+from repro.protocol.adaptive import AdaptiveController
+from repro.protocol.config import ProtocolConfig
+from repro.protocol.remicss import PointToPointNetwork
+from repro.protocol.scheduler import DynamicParameterSampler, ExplicitScheduler
+
+
+def build(alert_feed, requirements, losses=(0.0, 0.0, 0.0), period=1.0, seed=4):
+    channels = ChannelSet.from_vectors(
+        risks=[0.1, 0.1, 0.1],
+        losses=list(losses),
+        delays=[0.01] * 3,
+        rates=[100.0] * 3,
+    )
+    registry = RngRegistry(seed)
+    network = PointToPointNetwork(channels, 100, registry)
+    config = ProtocolConfig(kappa=1.0, mu=1.0, symbol_size=100, share_synthetic=True)
+    node_a, node_b = network.node_pair(config, registry)
+    model = HmmRiskModel(p_compromise=0.05, p_recover=0.05,
+                         p_false_alert=0.05, p_true_alert=0.8)
+    controller = AdaptiveController(
+        engine=network.engine,
+        node=node_a,
+        base_channels=channels,
+        links=[duplex.forward for duplex in network.duplex],
+        alert_feed=alert_feed,
+        risk_estimators=[HmmRiskEstimator(model) for _ in range(3)],
+        requirements=requirements,
+        period=period,
+        rng=registry.stream("controller"),
+    )
+    return network, node_a, node_b, controller
+
+
+class TestValidation:
+    def test_bad_period(self):
+        with pytest.raises(ValueError):
+            build(lambda i: False, Requirements(), period=0.0)
+
+    def test_mismatched_estimators(self):
+        channels = ChannelSet.from_vectors([0.1], [0.0], [0.0], [1.0])
+        registry = RngRegistry(1)
+        network = PointToPointNetwork(channels, 100, registry)
+        config = ProtocolConfig(symbol_size=100, share_synthetic=True)
+        node_a, _ = network.node_pair(config, registry)
+        with pytest.raises(ValueError):
+            AdaptiveController(
+                engine=network.engine,
+                node=node_a,
+                base_channels=channels,
+                links=[network.duplex[0].forward],
+                alert_feed=lambda i: False,
+                risk_estimators=[],
+                requirements=Requirements(),
+                period=1.0,
+            )
+
+
+class TestAdaptation:
+    def test_reviews_happen_on_schedule(self):
+        network, _, _, controller = build(lambda i: False, Requirements())
+        network.engine.run_until(5.5)
+        assert len(controller.history) == 5
+        assert [round(r.time, 6) for r in controller.history] == [1, 2, 3, 4, 5]
+
+    def test_sampler_swapped_to_explicit(self):
+        network, node_a, _, controller = build(lambda i: False, Requirements())
+        assert isinstance(node_a.sampler, DynamicParameterSampler)
+        network.engine.run_until(1.5)
+        assert isinstance(node_a.sampler, ExplicitScheduler)
+        assert node_a.sender.sampler is node_a.sampler
+
+    def test_quiet_alerts_pick_fast_plan(self):
+        network, _, _, controller = build(lambda i: False, Requirements(max_risk=0.4))
+        network.engine.run_until(10.5)
+        plan = controller.current_plan
+        assert plan is not None
+        assert plan.mu == pytest.approx(1.0)  # nothing to fear: go fast
+
+    def test_alert_storm_raises_kappa(self):
+        # Channel 0 screams; the requirement forces the plan to protect.
+        network, _, _, controller = build(
+            lambda i: i == 0, Requirements(max_risk=0.05)
+        )
+        network.engine.run_until(12.5)
+        plan = controller.current_plan
+        assert plan is not None
+        assert plan.kappa > 1.0
+        assert plan.risk <= 0.05 + 1e-9
+        # The controller's risk estimate for channel 0 climbed.
+        last = controller.history[-1]
+        assert last.risks[0] > 0.5
+        assert last.risks[1] < 0.3
+
+    def test_infeasible_requirements_recorded(self):
+        network, node_a, _, controller = build(
+            lambda i: True, Requirements(max_risk=0.0)
+        )
+        network.engine.run_until(3.5)
+        assert all(not record.feasible for record in controller.history)
+        assert controller.current_plan is None
+        # Sampler untouched when no feasible plan exists.
+        assert isinstance(node_a.sampler, DynamicParameterSampler)
+
+    def test_loss_feedback_updates_estimates(self):
+        network, node_a, node_b, controller = build(
+            lambda i: False, Requirements(max_loss=0.05), losses=(0.3, 0.0, 0.0),
+            seed=9,
+        )
+        engine = network.engine
+
+        def offer():
+            node_a.send(None)
+            if engine.now < 20.0:
+                engine.schedule(0.02, offer)
+
+        engine.schedule_at(0.0, offer)
+        engine.run_until(25.0)
+        last = controller.history[-1]
+        # The controller discovered channel 0's loss from link feedback.
+        assert last.losses[0] > 0.1
+        assert last.losses[1] < 0.05
+        plan = controller.current_plan
+        assert plan is not None
+        assert plan.loss <= 0.05 + 1e-9
+
+    def test_stop_cancels_reviews(self):
+        network, _, _, controller = build(lambda i: False, Requirements())
+        network.engine.run_until(2.5)
+        controller.stop()
+        count = len(controller.history)
+        network.engine.run_until(10.0)
+        assert len(controller.history) == count

@@ -1,0 +1,68 @@
+"""Per-symbol parameter samplers (dynamic and explicit)."""
+
+import numpy as np
+import pytest
+
+from repro.core.schedule import ShareSchedule
+from repro.protocol.scheduler import DynamicParameterSampler, ExplicitScheduler
+
+
+class TestDynamicSampler:
+    def test_integral_parameters_deterministic(self, rng):
+        sampler = DynamicParameterSampler(2.0, 4.0, rng)
+        for _ in range(50):
+            assert sampler.sample() == (2, 4, None)
+
+    def test_averages_converge(self, rng):
+        sampler = DynamicParameterSampler(1.7, 3.4, rng)
+        draws = [sampler.sample() for _ in range(30000)]
+        assert np.mean([k for k, _, _ in draws]) == pytest.approx(1.7, abs=0.02)
+        assert np.mean([m for _, m, _ in draws]) == pytest.approx(3.4, abs=0.02)
+
+    def test_ordering_always_valid(self, rng):
+        sampler = DynamicParameterSampler(2.9, 3.1, rng)
+        for _ in range(2000):
+            k, m, subset = sampler.sample()
+            assert 1 <= k <= m
+            assert subset is None
+
+    def test_same_unit_cell(self, rng):
+        sampler = DynamicParameterSampler(2.2, 2.8, rng)
+        draws = [sampler.sample() for _ in range(30000)]
+        assert np.mean([k for k, _, _ in draws]) == pytest.approx(2.2, abs=0.02)
+        assert np.mean([m for _, m, _ in draws]) == pytest.approx(2.8, abs=0.02)
+
+    def test_invalid_parameters(self, rng):
+        with pytest.raises(ValueError):
+            DynamicParameterSampler(3.0, 2.0, rng)
+
+
+class TestExplicitScheduler:
+    def test_returns_subsets_from_schedule(self, five_channels, rng):
+        schedule = ShareSchedule(
+            five_channels,
+            {(1, frozenset({0})): 0.5, (2, frozenset({1, 4})): 0.5},
+        )
+        sampler = ExplicitScheduler(schedule, rng)
+        seen = set()
+        for _ in range(200):
+            k, m, subset = sampler.sample()
+            assert subset is not None
+            assert len(subset) == m
+            seen.add((k, subset))
+        assert seen == {(1, frozenset({0})), (2, frozenset({1, 4}))}
+
+    def test_single_atom_fast_path(self, five_channels, rng):
+        schedule = ShareSchedule.singleton(five_channels, 3, [0, 1, 2])
+        sampler = ExplicitScheduler(schedule, rng)
+        assert sampler.sample() == (3, 3, frozenset({0, 1, 2}))
+
+    def test_respects_probabilities(self, five_channels, rng):
+        schedule = ShareSchedule(
+            five_channels,
+            {(1, frozenset({0})): 0.2, (1, frozenset({1})): 0.8},
+        )
+        sampler = ExplicitScheduler(schedule, rng)
+        draws = [sampler.sample()[2] for _ in range(10000)]
+        frac = sum(1 for s in draws if s == frozenset({1})) / len(draws)
+        assert frac == pytest.approx(0.8, abs=0.02)

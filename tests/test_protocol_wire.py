@@ -1,0 +1,110 @@
+"""The share wire format."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocol.wire import (
+    HEADER_SIZE,
+    WireFormatError,
+    decode_share,
+    encode_share,
+)
+from repro.sharing.base import Share
+
+
+def make_share(index=2, data=b"payload", k=2, m=3):
+    return Share(index=index, data=data, k=k, m=m)
+
+
+class TestRoundtrip:
+    def test_basic(self):
+        share = make_share()
+        packet = encode_share(77, share, "shamir-gf256")
+        header, decoded = decode_share(packet)
+        assert header.seq == 77
+        assert header.index == 2
+        assert header.k == 2
+        assert header.m == 3
+        assert header.scheme_name == "shamir-gf256"
+        assert decoded.data == b"payload"
+
+    def test_packet_size(self):
+        share = make_share(data=b"x" * 100)
+        assert len(encode_share(0, share, "shamir-gf256")) == HEADER_SIZE + 100
+
+    def test_empty_payload(self):
+        share = make_share(data=b"")
+        header, decoded = decode_share(encode_share(1, share, "xor-perfect"))
+        assert decoded.data == b""
+        assert header.scheme_name == "xor-perfect"
+
+    def test_large_seq(self):
+        share = make_share()
+        header, _ = decode_share(encode_share(2**63, share, "shamir-gf256"))
+        assert header.seq == 2**63
+
+    @given(
+        seq=st.integers(min_value=0, max_value=2**64 - 1),
+        index=st.integers(min_value=1, max_value=255),
+        k=st.integers(min_value=1, max_value=255),
+        extra=st.integers(min_value=0, max_value=5),
+        data=st.binary(max_size=64),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, seq, index, k, extra, data):
+        m = min(k + extra, 255)
+        index = min(index, m)
+        share = Share(index=index, data=data, k=k, m=m)
+        header, decoded = decode_share(encode_share(seq, share, "shamir-gf256"))
+        assert (header.seq, header.index, header.k, header.m) == (seq, index, k, m)
+        assert decoded.data == data
+
+
+class TestErrors:
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            encode_share(0, make_share(), "rot13")
+
+    def test_seq_out_of_range(self):
+        with pytest.raises(ValueError):
+            encode_share(2**64, make_share(), "shamir-gf256")
+        with pytest.raises(ValueError):
+            encode_share(-1, make_share(), "shamir-gf256")
+
+    def test_truncated_packet(self):
+        with pytest.raises(WireFormatError):
+            decode_share(b"\x00" * (HEADER_SIZE - 1))
+
+    def test_bad_magic(self):
+        packet = bytearray(encode_share(0, make_share(), "shamir-gf256"))
+        packet[0] ^= 0xFF
+        with pytest.raises(WireFormatError):
+            decode_share(bytes(packet))
+
+    def test_bad_version(self):
+        packet = bytearray(encode_share(0, make_share(), "shamir-gf256"))
+        packet[2] = 99
+        with pytest.raises(WireFormatError):
+            decode_share(bytes(packet))
+
+    def test_invalid_share_fields(self):
+        # Zero k in the header is rejected at Share construction.
+        packet = bytearray(encode_share(0, make_share(), "shamir-gf256"))
+        packet[13] = 0  # k field
+        with pytest.raises(WireFormatError):
+            decode_share(bytes(packet))
+
+    @given(noise=st.binary(min_size=0, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_fuzz_never_crashes(self, noise):
+        try:
+            decode_share(noise)
+        except WireFormatError:
+            pass  # the only acceptable failure mode
+
+    def test_unknown_scheme_id_decodes_with_label(self):
+        packet = bytearray(encode_share(0, make_share(), "shamir-gf256"))
+        packet[3] = 200  # scheme id
+        header, _ = decode_share(bytes(packet))
+        assert "unknown" in header.scheme_name

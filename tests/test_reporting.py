@@ -1,0 +1,52 @@
+"""The text reporting helpers used by the experiment drivers."""
+
+from repro.experiments.reporting import format_table, rows_to_table, summarize_ratio
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        table = format_table(["a", "bb"], [[1, 2.5], [30, 4.25]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1]) <= {"-", " "}
+        # Right-justified columns: every line has the same total width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_float_precision(self):
+        table = format_table(["x"], [[1.23456]], precision=2)
+        assert "1.23" in table
+        assert "1.235" not in table
+
+    def test_non_float_values_passed_through(self):
+        table = format_table(["x", "y"], [["label", (1, 2)]])
+        assert "label" in table
+        assert "(1, 2)" in table
+
+
+class TestRowsToTable:
+    def test_column_selection_and_order(self):
+        rows = [{"a": 1, "b": 2.0, "c": 3}, {"a": 4, "b": 5.0, "c": 6}]
+        table = rows_to_table(rows, ["c", "a"])
+        header = table.splitlines()[0]
+        assert header.index("c") < header.index("a")
+        assert "b" not in header
+
+    def test_missing_key_renders_empty(self):
+        table = rows_to_table([{"a": 1}], ["a", "zz"])
+        assert "zz" in table
+
+
+class TestSummarizeRatio:
+    def test_mean_and_worst(self):
+        rows = [
+            {"act": 9.0, "opt": 10.0},
+            {"act": 8.0, "opt": 10.0},
+        ]
+        summary = summarize_ratio(rows, "act", "opt")
+        assert "0.8500" in summary
+        assert "0.8000" in summary
+        assert "2 points" in summary
+
+    def test_skips_zero_optimal(self):
+        rows = [{"act": 1.0, "opt": 0.0}]
+        assert summarize_ratio(rows, "act", "opt") == "no comparable rows"

@@ -1,0 +1,166 @@
+"""The XOR perfect scheme and the Blakley hyperplane scheme."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sharing.base import ReconstructionError, Share
+from repro.sharing.blakley import BlakleyScheme, solve_mod_p
+from repro.sharing.xor import XorScheme
+
+xor = XorScheme()
+
+
+class TestXorScheme:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        secret = b"one time pad family"
+        shares = xor.split(secret, 4, 4, rng)
+        assert xor.reconstruct(shares) == secret
+
+    def test_order_independent(self):
+        rng = np.random.default_rng(1)
+        secret = b"order should not matter"
+        shares = xor.split(secret, 3, 3, rng)
+        assert xor.reconstruct(shares[::-1]) == secret
+
+    def test_single_share_is_the_secret(self):
+        rng = np.random.default_rng(2)
+        shares = xor.split(b"degenerate", 1, 1, rng)
+        assert shares[0].data == b"degenerate"
+        assert xor.reconstruct(shares) == b"degenerate"
+
+    def test_requires_k_equals_m(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            xor.split(b"x", 2, 3, rng)
+
+    def test_supports(self):
+        assert xor.supports(3, 3)
+        assert not xor.supports(2, 3)
+        assert not xor.supports(0, 0)
+
+    def test_missing_share_fails(self):
+        rng = np.random.default_rng(3)
+        shares = xor.split(b"all required", 3, 3, rng)
+        with pytest.raises(ReconstructionError):
+            xor.reconstruct(shares[:2])
+
+    def test_missing_share_gives_no_information(self):
+        """Any m-1 shares XOR to a value independent of the secret mean."""
+        rng = np.random.default_rng(4)
+        partials = []
+        for _ in range(2000):
+            shares = xor.split(b"\x00", 2, 2, rng)
+            partials.append(shares[0].data[0])
+        assert abs(np.mean(partials) - 127.5) < 8.0
+
+    def test_inconsistent_lengths_rejected(self):
+        rng = np.random.default_rng(5)
+        shares = xor.split(b"abcd", 2, 2, rng)
+        bad = Share(index=shares[1].index, data=shares[1].data[:-1], k=2, m=2)
+        with pytest.raises(ReconstructionError):
+            xor.reconstruct([shares[0], bad])
+
+    def test_empty_secret(self):
+        rng = np.random.default_rng(6)
+        shares = xor.split(b"", 2, 2, rng)
+        assert xor.reconstruct(shares) == b""
+
+    @given(secret=st.binary(max_size=100), m=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, secret, m):
+        rng = np.random.default_rng(99)
+        assert xor.reconstruct(xor.split(secret, m, m, rng)) == secret
+
+
+class TestSolveModP:
+    def test_identity_system(self):
+        assert solve_mod_p([[1, 0], [0, 1]], [4, 9], 11) == [4, 9]
+
+    def test_known_system(self):
+        # x + 2y = 5, 3x + 4y = 6 mod 7 -> x = 3, y = 1
+        x, y = solve_mod_p([[1, 2], [3, 4]], [5, 6], 7)
+        assert (x + 2 * y) % 7 == 5
+        assert (3 * x + 4 * y) % 7 == 6
+
+    def test_singular_rejected(self):
+        with pytest.raises(ReconstructionError):
+            solve_mod_p([[1, 2], [2, 4]], [1, 2], 7)
+
+    def test_needs_pivot_reordering(self):
+        # First pivot is zero; elimination must swap rows.
+        solution = solve_mod_p([[0, 1], [1, 0]], [3, 4], 11)
+        assert solution == [4, 3]
+
+
+class TestBlakleyScheme:
+    scheme = BlakleyScheme(max_secret_len=16)
+
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        shares = self.scheme.split(b"hyperplanes!", 3, 5, rng)
+        assert self.scheme.reconstruct(shares[:3]) == b"hyperplanes!"
+
+    def test_any_k_subset(self):
+        from itertools import combinations
+
+        rng = np.random.default_rng(1)
+        secret = b"general position"
+        shares = self.scheme.split(secret, 2, 4, rng)
+        for subset in combinations(shares, 2):
+            assert self.scheme.reconstruct(list(subset)) == secret
+
+    def test_empty_and_short_secrets(self):
+        rng = np.random.default_rng(2)
+        for secret in (b"", b"a", b"ab"):
+            shares = self.scheme.split(secret, 2, 3, rng)
+            assert self.scheme.reconstruct(shares[1:]) == secret
+
+    def test_max_length_secret(self):
+        rng = np.random.default_rng(3)
+        secret = bytes(range(16))
+        shares = self.scheme.split(secret, 2, 2, rng)
+        assert self.scheme.reconstruct(shares) == secret
+
+    def test_secret_too_long_rejected(self):
+        rng = np.random.default_rng(4)
+        with pytest.raises(ValueError):
+            self.scheme.split(b"x" * 17, 2, 3, rng)
+
+    def test_share_larger_than_secret(self):
+        """Blakley shares carry a normal vector: not rate-optimal."""
+        rng = np.random.default_rng(5)
+        shares = self.scheme.split(b"short", 3, 3, rng)
+        assert all(len(s.data) > 5 for s in shares)
+
+    def test_fewer_than_k_rejected(self):
+        rng = np.random.default_rng(6)
+        shares = self.scheme.split(b"secret", 3, 4, rng)
+        with pytest.raises(ReconstructionError):
+            self.scheme.reconstruct(shares[:2])
+
+    def test_truncated_share_rejected(self):
+        rng = np.random.default_rng(7)
+        shares = self.scheme.split(b"secret", 2, 2, rng)
+        bad = Share(index=1, data=shares[0].data[:-2], k=2, m=2)
+        with pytest.raises(ReconstructionError):
+            self.scheme.reconstruct([bad, shares[1]])
+
+    def test_k_equals_one(self):
+        rng = np.random.default_rng(8)
+        shares = self.scheme.split(b"broadcast", 1, 3, rng)
+        for share in shares:
+            assert self.scheme.reconstruct([share]) == b"broadcast"
+
+    @given(
+        secret=st.binary(max_size=16),
+        k=st.integers(min_value=1, max_value=4),
+        extra=st.integers(min_value=0, max_value=2),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, secret, k, extra):
+        rng = np.random.default_rng(11)
+        shares = self.scheme.split(secret, k, k + extra, rng)
+        assert self.scheme.reconstruct(shares[extra:]) == secret

@@ -1,0 +1,97 @@
+"""Synthetic application traces tunnelled through the protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core.channel import ChannelSet
+from repro.protocol.config import ProtocolConfig
+from repro.workloads.traces import (
+    messaging_trace,
+    run_trace,
+    streaming_trace,
+    web_trace,
+)
+
+
+@pytest.fixture
+def clean_channels():
+    return ChannelSet.from_vectors(
+        risks=[0.0] * 3,
+        losses=[0.0] * 3,
+        delays=[0.01] * 3,
+        rates=[200.0] * 3,
+    )
+
+
+class TestGenerators:
+    def test_web_trace_heavy_tail(self, rng):
+        events = list(web_trace(200.0, rng))
+        sizes = np.array([len(payload) for _, payload in events])
+        assert len(events) > 100
+        # Responses reach well beyond the typical request size.
+        assert sizes.max() > 5000
+        assert np.median(sizes) < sizes.mean()  # right-skewed
+
+    def test_web_trace_times_in_range(self, rng):
+        events = list(web_trace(50.0, rng))
+        assert all(0.0 <= when for when, _ in events)
+        # Requests are emitted before the duration; responses may lag a
+        # few hundredths past it.
+        assert max(when for when, _ in events) < 50.1
+
+    def test_streaming_trace_cbr(self, rng):
+        events = list(streaming_trace(10.0, rng, datagram_size=500,
+                                      datagrams_per_unit=8.0))
+        assert len(events) == 80
+        assert all(len(p) == 500 for _, p in events)
+        times = [when for when, _ in events]
+        assert times == sorted(times)
+
+    def test_messaging_trace_sizes(self, rng):
+        events = list(messaging_trace(500.0, rng, min_size=20, max_size=50))
+        assert events
+        assert all(20 <= len(p) <= 50 for _, p in events)
+
+    def test_generators_deterministic(self):
+        a = list(web_trace(20.0, np.random.default_rng(5)))
+        b = list(web_trace(20.0, np.random.default_rng(5)))
+        assert a == b
+
+
+class TestRunTrace:
+    @pytest.mark.parametrize("kind", ["web", "streaming", "messaging"])
+    def test_lossless_traces_arrive_intact(self, clean_channels, kind):
+        config = ProtocolConfig(kappa=2.0, mu=3.0, symbol_size=256)
+        result = run_trace(clean_channels, config, kind=kind, duration=15.0)
+        assert result.sent > 0
+        assert result.delivered == result.sent
+        assert result.intact == result.sent
+
+    def test_web_trace_survives_light_loss(self):
+        channels = ChannelSet.from_vectors(
+            risks=[0.0] * 3,
+            losses=[0.02, 0.02, 0.02],
+            delays=[0.01] * 3,
+            rates=[200.0] * 3,
+        )
+        # kappa=1, mu=3: triple redundancy shrugs the loss off.
+        config = ProtocolConfig(kappa=1.0, mu=3.0, symbol_size=256,
+                                reassembly_timeout=10.0)
+        result = run_trace(channels, config, kind="web", duration=20.0)
+        assert result.delivery_ratio > 0.95
+
+    def test_rejects_synthetic_mode(self, clean_channels):
+        config = ProtocolConfig(share_synthetic=True)
+        with pytest.raises(ValueError):
+            run_trace(clean_channels, config)
+
+    def test_unknown_kind(self, clean_channels):
+        config = ProtocolConfig(symbol_size=256)
+        with pytest.raises(ValueError):
+            run_trace(clean_channels, config, kind="voip")
+
+    def test_deterministic(self, clean_channels):
+        config = ProtocolConfig(kappa=2.0, mu=2.0, symbol_size=256)
+        a = run_trace(clean_channels, config, kind="messaging", duration=10.0, seed=3)
+        b = run_trace(clean_channels, config, kind="messaging", duration=10.0, seed=3)
+        assert a == b
