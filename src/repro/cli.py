@@ -155,6 +155,33 @@ def cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def load_fault_plan(spec: Optional[str], duration: float, warmup: float):
+    """Resolve a ``--faults`` value into a FaultPlan (or None).
+
+    The value is either the name of a canonical scenario (``flap``,
+    ``burst``, ``delay_spike``, ``rate_cut``, ``partition_heal``) -- placed
+    in the middle of the measurement window -- or the path of a JSON file
+    holding a list of fault-event objects (see docs/FAULTS.md).
+    """
+    if not spec:
+        return None
+    import os
+
+    from repro.netsim.faults import CANONICAL_SCENARIOS, FaultPlan, canonical_plan
+
+    if spec in CANONICAL_SCENARIOS:
+        start = warmup + 0.25 * duration
+        stop = warmup + 0.75 * duration
+        return canonical_plan(spec, start, stop)
+    if os.path.exists(spec):
+        with open(spec) as handle:
+            return FaultPlan.from_json(handle.read())
+    raise ValueError(
+        f"--faults expects a scenario name ({', '.join(sorted(CANONICAL_SCENARIOS))}) "
+        f"or a JSON file path, got {spec!r}"
+    )
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     from repro.protocol.config import ProtocolConfig
     from repro.workloads.iperf import practical_max_rate, run_iperf
@@ -164,6 +191,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     offered = args.offered_rate or practical_max_rate(
         channels, args.mu, config.symbol_size
     )
+    fault_plan = load_fault_plan(args.faults, args.duration, args.warmup)
     result = run_iperf(
         channels,
         config,
@@ -171,6 +199,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         duration=args.duration,
         warmup=args.warmup,
         seed=args.seed,
+        fault_plan=fault_plan,
     )
     optimum = optimal_rate(channels, args.mu)
     print(f"offered rate   = {offered:.4f} symbols/unit")
@@ -178,6 +207,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     print(f"optimal rate   = {optimum:.4f} symbols/unit (Theorem 4)")
     print(f"achieved/optimal = {result.achieved_rate / optimum:.4f}")
     print(f"loss           = {result.loss_percent:.4f}%")
+    print(f"mean delay     = {result.mean_delay_ms:.4f} ms")
+    if result.fault_summary is not None:
+        print(f"faults applied = {json.dumps(result.fault_summary, sort_keys=True)}")
     return 0
 
 
@@ -235,6 +267,11 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--duration", type=float, default=30.0)
     simulate.add_argument("--warmup", type=float, default=5.0)
     simulate.add_argument("--seed", type=int, default=1)
+    simulate.add_argument(
+        "--faults",
+        help="fault injection: a canonical scenario name (flap, burst, "
+        "delay_spike, rate_cut, partition_heal) or a JSON fault-plan file",
+    )
     simulate.set_defaults(func=cmd_simulate)
 
     return parser

@@ -16,7 +16,10 @@ joined by five dedicated, shaped 10 GbE links).  It provides:
 * :mod:`repro.netsim.readiness` -- the write-readiness selector backing
   ReMICSS's dynamic share schedule;
 * :mod:`repro.netsim.rng` -- named, reproducible random streams;
-* :mod:`repro.netsim.trace` -- counters and summary statistics.
+* :mod:`repro.netsim.trace` -- counters and summary statistics;
+* :mod:`repro.netsim.faults` -- declarative, deterministic fault injection
+  (outages, flaps, burst loss, parameter overrides, partitions) driven by
+  the event engine.
 
 Everything is deterministic given a root seed: event ties break on a
 monotonic sequence number and all randomness flows through named
@@ -24,8 +27,16 @@ monotonic sequence number and all randomness flows through named
 """
 
 from repro.netsim.engine import Engine, Event
+from repro.netsim.faults import (
+    CANONICAL_SCENARIOS,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    GilbertElliott,
+    canonical_plan,
+)
 from repro.netsim.host import CpuModel
-from repro.netsim.link import DuplexChannel, Link, LinkStats
+from repro.netsim.link import DuplexChannel, Link, LinkStats, LossModel
 from repro.netsim.packet import Datagram
 from repro.netsim.ports import ChannelPort
 from repro.netsim.readiness import WriteSelector
@@ -42,7 +53,14 @@ __all__ = [
     "Datagram",
     "Link",
     "LinkStats",
+    "LossModel",
     "DuplexChannel",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "GilbertElliott",
+    "CANONICAL_SCENARIOS",
+    "canonical_plan",
     "CpuModel",
     "ChannelPort",
     "WriteSelector",

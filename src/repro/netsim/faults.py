@@ -1,0 +1,526 @@
+"""Declarative, deterministic fault injection for the simulated testbed.
+
+The paper's evaluation (Sec. V-VI) shapes every channel once and leaves it
+alone for the whole run; real channels flap, burst, slow down and heal.
+This module injects such behaviour as data, not code:
+
+* a :class:`FaultEvent` is one timed mutation of one (or every) channel --
+  an outage (``link_down``/``link_up``), a parameter override
+  (``set_loss``/``set_delay``/``set_jitter``/``set_rate``), a burst-loss
+  regime (``burst_start``/``burst_stop`` with a two-state
+  :class:`GilbertElliott` process), or a whole-set ``partition``/``heal``;
+* a :class:`FaultPlan` is an ordered timeline of events, built fluently or
+  parsed from a JSON spec (the CLI's ``--faults``);
+* a :class:`FaultInjector` schedules the plan on the event
+  :class:`~repro.netsim.engine.Engine` and applies each mutation through
+  :class:`~repro.netsim.link.Link`'s safe runtime setters, recording every
+  applied event in :attr:`FaultInjector.log` so reports can attribute
+  degradation to injected faults.
+
+Determinism: event timing comes solely from the engine (ties break on
+scheduling order) and every random draw -- including the Gilbert-Elliott
+state walks -- flows through the affected link's own named rng stream, so
+two runs with the same root seed produce byte-identical traces.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.netsim.engine import Engine
+from repro.netsim.link import DuplexChannel, Link, LossModel
+
+#: Every recognised fault action.
+ACTIONS = (
+    "link_down",
+    "link_up",
+    "set_loss",
+    "set_delay",
+    "set_jitter",
+    "set_rate",
+    "burst_start",
+    "burst_stop",
+    "partition",
+    "heal",
+)
+
+#: Which direction(s) of a duplex channel an event touches.
+DIRECTIONS = ("fwd", "rev", "both")
+
+#: Required / allowed parameter keys per action.
+_PARAM_KEYS: Dict[str, Tuple[str, ...]] = {
+    "link_down": (),
+    "link_up": (),
+    "set_loss": ("loss",),
+    "set_delay": ("delay",),
+    "set_jitter": ("jitter",),
+    "set_rate": ("byte_rate", "scale"),
+    "burst_start": ("p_bad", "p_good", "loss_good", "loss_bad"),
+    "burst_stop": (),
+    "partition": (),
+    "heal": (),
+}
+
+
+class GilbertElliott(LossModel):
+    """Two-state (good/bad) Markov burst-loss process, per packet.
+
+    The classic Gilbert-Elliott channel: each serialised packet is lost
+    with probability ``loss_good`` in the good state and ``loss_bad`` in
+    the bad state; after the loss draw the state flips good -> bad with
+    probability ``p_bad`` and bad -> good with probability ``p_good``.
+    Expected bad-state occupancy is ``p_bad / (p_bad + p_good)`` and mean
+    burst length is ``1 / p_good`` packets.
+
+    The process owns no randomness of its own: :meth:`sample` draws from
+    the rng the link passes in, which keeps runs seed-deterministic.
+    """
+
+    def __init__(
+        self,
+        p_bad: float,
+        p_good: float,
+        loss_good: float = 0.0,
+        loss_bad: float = 1.0,
+    ):
+        for label, p in (("p_bad", p_bad), ("p_good", p_good)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{label} must be a probability, got {p}")
+        if not 0.0 <= loss_good < 1.0:
+            raise ValueError(f"loss_good must be in [0, 1), got {loss_good}")
+        if not 0.0 <= loss_bad <= 1.0:
+            raise ValueError(f"loss_bad must be in [0, 1], got {loss_bad}")
+        self.p_bad = p_bad
+        self.p_good = p_good
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+        self.bad = False
+
+    def sample(self, rng: np.random.Generator) -> bool:
+        loss = self.loss_bad if self.bad else self.loss_good
+        lost = loss > 0.0 and rng.random() < loss
+        flip = self.p_good if self.bad else self.p_bad
+        if flip > 0.0 and rng.random() < flip:
+            self.bad = not self.bad
+        return lost
+
+
+@dataclass
+class FaultEvent:
+    """One timed fault: an action applied to one channel (or all of them).
+
+    Attributes:
+        time: absolute simulated time the fault fires.
+        action: one of :data:`ACTIONS`.
+        channel: model channel index, or ``None`` for every channel
+            (``partition``/``heal`` default to every channel).
+        direction: "fwd", "rev" or "both" duplex directions.
+        params: action parameters (see :data:`_PARAM_KEYS`); e.g.
+            ``{"loss": 0.2}`` for ``set_loss`` or ``{"scale": 0.1}`` for a
+            relative ``set_rate``.
+    """
+
+    time: float
+    action: str
+    channel: Optional[int] = None
+    direction: str = "both"
+    params: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"fault time must be nonnegative, got {self.time}")
+        if self.action not in ACTIONS:
+            raise ValueError(f"unknown fault action {self.action!r}; expected one of {ACTIONS}")
+        if self.direction not in DIRECTIONS:
+            raise ValueError(f"unknown direction {self.direction!r}; expected one of {DIRECTIONS}")
+        if self.channel is not None and self.channel < 0:
+            raise ValueError(f"channel index must be nonnegative, got {self.channel}")
+        allowed = _PARAM_KEYS[self.action]
+        unknown = set(self.params) - set(allowed)
+        if unknown:
+            raise ValueError(
+                f"{self.action} does not take parameters {sorted(unknown)}; allowed: {list(allowed)}"
+            )
+        if self.action == "set_loss":
+            if "loss" not in self.params:
+                raise ValueError("set_loss needs a 'loss' parameter")
+            if not 0.0 <= self.params["loss"] < 1.0:
+                raise ValueError(f"loss must be in [0, 1), got {self.params['loss']}")
+        if self.action == "set_delay":
+            if "delay" not in self.params:
+                raise ValueError("set_delay needs a 'delay' parameter")
+            if self.params["delay"] < 0:
+                raise ValueError(f"delay must be nonnegative, got {self.params['delay']}")
+        if self.action == "set_jitter":
+            if "jitter" not in self.params:
+                raise ValueError("set_jitter needs a 'jitter' parameter")
+            if self.params["jitter"] < 0:
+                raise ValueError(f"jitter must be nonnegative, got {self.params['jitter']}")
+        if self.action == "set_rate":
+            if not (("byte_rate" in self.params) ^ ("scale" in self.params)):
+                raise ValueError("set_rate needs exactly one of 'byte_rate' or 'scale'")
+            value = self.params.get("byte_rate", self.params.get("scale"))
+            if value <= 0:
+                raise ValueError(f"set_rate value must be positive, got {value}")
+        if self.action == "burst_start":
+            for key in ("p_bad", "p_good"):
+                if key not in self.params:
+                    raise ValueError(f"burst_start needs a {key!r} parameter")
+            # Constructing the process validates every probability eagerly.
+            GilbertElliott(
+                self.params["p_bad"],
+                self.params["p_good"],
+                self.params.get("loss_good", 0.0),
+                self.params.get("loss_bad", 1.0),
+            )
+
+    def to_spec(self) -> dict:
+        """The JSON-friendly dict form (inverse of :meth:`FaultPlan.from_spec`)."""
+        spec: dict = {"time": self.time, "action": self.action}
+        if self.channel is not None:
+            spec["channel"] = self.channel
+        if self.direction != "both":
+            spec["direction"] = self.direction
+        spec.update(self.params)
+        return spec
+
+
+class FaultPlan:
+    """A seeded-run fault timeline: an ordered collection of fault events.
+
+    Build fluently (every builder returns ``self``)::
+
+        plan = (FaultPlan()
+                .link_down(5.0, channel=0)
+                .link_up(8.0, channel=0)
+                .burst(10.0, p_bad=0.05, p_good=0.25, channel=2)
+                .end_burst(20.0, channel=2)
+                .partition(22.0)
+                .heal(24.0))
+
+    or parse the equivalent JSON spec with :meth:`from_json` /
+    :meth:`from_spec`.  The plan itself is pure data; nothing happens until
+    a :class:`FaultInjector` arms it on an engine.
+    """
+
+    def __init__(self, events: Optional[Sequence[FaultEvent]] = None):
+        self.events: List[FaultEvent] = list(events or [])
+
+    # -- construction ----------------------------------------------------------
+
+    def add(self, event: FaultEvent) -> "FaultPlan":
+        """Append one event (kept in insertion order; sorted when armed)."""
+        self.events.append(event)
+        return self
+
+    def link_down(self, time: float, channel: Optional[int] = None, direction: str = "both") -> "FaultPlan":
+        """Take a channel (or all channels) down at ``time``."""
+        return self.add(FaultEvent(time, "link_down", channel, direction))
+
+    def link_up(self, time: float, channel: Optional[int] = None, direction: str = "both") -> "FaultPlan":
+        """Bring a channel (or all channels) back up at ``time``."""
+        return self.add(FaultEvent(time, "link_up", channel, direction))
+
+    def set_loss(self, time: float, loss: float, channel: Optional[int] = None, direction: str = "both") -> "FaultPlan":
+        """Override a channel's iid loss probability at ``time``."""
+        return self.add(FaultEvent(time, "set_loss", channel, direction, {"loss": loss}))
+
+    def set_delay(self, time: float, delay: float, channel: Optional[int] = None, direction: str = "both") -> "FaultPlan":
+        """Override a channel's propagation delay at ``time``."""
+        return self.add(FaultEvent(time, "set_delay", channel, direction, {"delay": delay}))
+
+    def set_jitter(self, time: float, jitter: float, channel: Optional[int] = None, direction: str = "both") -> "FaultPlan":
+        """Override a channel's delay jitter at ``time``."""
+        return self.add(FaultEvent(time, "set_jitter", channel, direction, {"jitter": jitter}))
+
+    def set_rate(
+        self,
+        time: float,
+        byte_rate: Optional[float] = None,
+        scale: Optional[float] = None,
+        channel: Optional[int] = None,
+        direction: str = "both",
+    ) -> "FaultPlan":
+        """Override a channel's serialisation rate, absolutely or by a factor."""
+        params: Dict[str, float] = {}
+        if byte_rate is not None:
+            params["byte_rate"] = byte_rate
+        if scale is not None:
+            params["scale"] = scale
+        return self.add(FaultEvent(time, "set_rate", channel, direction, params))
+
+    def burst(
+        self,
+        time: float,
+        p_bad: float,
+        p_good: float,
+        loss_good: float = 0.0,
+        loss_bad: float = 1.0,
+        channel: Optional[int] = None,
+        direction: str = "both",
+    ) -> "FaultPlan":
+        """Enter a Gilbert-Elliott burst-loss regime at ``time``."""
+        return self.add(
+            FaultEvent(
+                time, "burst_start", channel, direction,
+                {"p_bad": p_bad, "p_good": p_good, "loss_good": loss_good, "loss_bad": loss_bad},
+            )
+        )
+
+    def end_burst(self, time: float, channel: Optional[int] = None, direction: str = "both") -> "FaultPlan":
+        """Leave the burst-loss regime (iid loss resumes) at ``time``."""
+        return self.add(FaultEvent(time, "burst_stop", channel, direction))
+
+    def partition(self, time: float, channel: Optional[int] = None) -> "FaultPlan":
+        """Down every channel (or one) in both directions at ``time``."""
+        return self.add(FaultEvent(time, "partition", channel))
+
+    def heal(self, time: float, channel: Optional[int] = None) -> "FaultPlan":
+        """Restore every channel (or one) in both directions at ``time``."""
+        return self.add(FaultEvent(time, "heal", channel))
+
+    def flap(
+        self,
+        channel: Optional[int],
+        period: float,
+        down_for: float,
+        start: float,
+        stop: float,
+        direction: str = "both",
+    ) -> "FaultPlan":
+        """Flap a channel: down at ``start``, up ``down_for`` later, every ``period``.
+
+        Generates ``link_down``/``link_up`` pairs until ``stop``; always
+        ends with a ``link_up`` so the channel heals.
+        """
+        if period <= 0 or down_for <= 0 or down_for >= period:
+            raise ValueError(f"need 0 < down_for < period, got period={period}, down_for={down_for}")
+        t = start
+        while t < stop:
+            self.link_down(t, channel, direction)
+            self.link_up(min(t + down_for, stop), channel, direction)
+            t += period
+        return self
+
+    # -- spec (de)serialisation -------------------------------------------------
+
+    @classmethod
+    def from_spec(cls, spec: Sequence[dict]) -> "FaultPlan":
+        """Build a plan from a list of dicts (``time``/``action``/``channel``/
+        ``direction`` keys; every other key becomes an action parameter)."""
+        events = []
+        for entry in spec:
+            entry = dict(entry)
+            time = entry.pop("time")
+            action = entry.pop("action")
+            channel = entry.pop("channel", None)
+            direction = entry.pop("direction", "both")
+            events.append(FaultEvent(time, action, channel, direction, entry))
+        return cls(events)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Parse the JSON form of :meth:`to_spec`."""
+        return cls.from_spec(json.loads(text))
+
+    def to_spec(self) -> List[dict]:
+        """The JSON-friendly list-of-dicts form."""
+        return [event.to_spec() for event in self.events]
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_spec(), indent=2)
+
+    # -- introspection ----------------------------------------------------------
+
+    def sorted_events(self) -> List[FaultEvent]:
+        """Events in firing order (stable: ties keep insertion order)."""
+        return sorted(self.events, key=lambda e: e.time)
+
+    def end_time(self) -> float:
+        """Time of the last event (0.0 for an empty plan)."""
+        return max((e.time for e in self.events), default=0.0)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to a set of duplex channels.
+
+    Args:
+        engine: the simulation engine the mutations are scheduled on.
+        channels: the duplex channels, in model channel-index order.
+        plan: the fault timeline to apply.
+
+    Call :meth:`arm` once, before running the engine past the plan's first
+    event.  Every applied event is appended to :attr:`log` as an
+    ``(applied_at, event)`` pair, giving reports a causal trace from
+    injected fault to observed degradation.
+    """
+
+    def __init__(self, engine: Engine, channels: Sequence[DuplexChannel], plan: FaultPlan):
+        self.engine = engine
+        self.duplex = list(channels)
+        self.plan = plan
+        self.log: List[Tuple[float, FaultEvent]] = []
+        self._armed = False
+        for event in plan:
+            if event.channel is not None and event.channel >= len(self.duplex):
+                raise ValueError(
+                    f"fault event targets channel {event.channel} but only "
+                    f"{len(self.duplex)} channels exist"
+                )
+
+    def arm(self) -> "FaultInjector":
+        """Schedule every plan event on the engine (once)."""
+        if self._armed:
+            raise RuntimeError("fault plan already armed")
+        self._armed = True
+        for event in self.plan.sorted_events():
+            self.engine.schedule_at(max(event.time, self.engine.now), self._apply, event)
+        return self
+
+    # -- application ------------------------------------------------------------
+
+    def _links(self, event: FaultEvent) -> List[Link]:
+        """The links an event touches, in (channel, fwd-before-rev) order."""
+        if event.channel is None:
+            targets = list(range(len(self.duplex)))
+        else:
+            targets = [event.channel]
+        direction = "both" if event.action in ("partition", "heal") else event.direction
+        links: List[Link] = []
+        for index in targets:
+            duplex = self.duplex[index]
+            if direction in ("fwd", "both"):
+                links.append(duplex.forward)
+            if direction in ("rev", "both"):
+                links.append(duplex.reverse)
+        return links
+
+    def _apply(self, event: FaultEvent) -> None:
+        self.log.append((self.engine.now, event))
+        params = event.params
+        for link in self._links(event):
+            if event.action in ("link_down", "partition"):
+                link.link_down()
+            elif event.action in ("link_up", "heal"):
+                link.link_up()
+            elif event.action == "set_loss":
+                link.set_loss(params["loss"])
+            elif event.action == "set_delay":
+                link.set_delay(params["delay"])
+            elif event.action == "set_jitter":
+                link.set_jitter(params["jitter"])
+            elif event.action == "set_rate":
+                if "byte_rate" in params:
+                    link.set_rate(params["byte_rate"])
+                else:
+                    link.set_rate(link.byte_rate * params["scale"])
+            elif event.action == "burst_start":
+                link.set_loss_model(
+                    GilbertElliott(
+                        params["p_bad"],
+                        params["p_good"],
+                        params.get("loss_good", 0.0),
+                        params.get("loss_bad", 1.0),
+                    )
+                )
+            elif event.action == "burst_stop":
+                link.set_loss_model(None)
+
+    # -- reporting --------------------------------------------------------------
+
+    def summary(self) -> dict:
+        """Applied-event counts per action, plus first/last firing times."""
+        counts: Dict[str, int] = {}
+        for _, event in self.log:
+            counts[event.action] = counts.get(event.action, 0) + 1
+        return {
+            "applied": len(self.log),
+            "by_action": counts,
+            "first_at": self.log[0][0] if self.log else None,
+            "last_at": self.log[-1][0] if self.log else None,
+        }
+
+
+# -- canonical scenarios ---------------------------------------------------------
+#
+# The five named scenarios every robustness experiment (and bench_faults)
+# measures against.  Times are in simulator unit times; callers pick start
+# and stop so the faults land inside their measurement window.
+
+
+def scenario_flap(
+    start: float, stop: float, channel: int = 0, period: float = 4.0, down_for: float = 2.0
+) -> FaultPlan:
+    """One channel flaps: down ``down_for`` out of every ``period``."""
+    return FaultPlan().flap(channel, period, down_for, start, stop)
+
+
+def scenario_burst_loss(
+    start: float,
+    stop: float,
+    channel: int = 0,
+    p_bad: float = 0.05,
+    p_good: float = 0.25,
+    loss_bad: float = 0.9,
+) -> FaultPlan:
+    """One channel enters a Gilbert-Elliott burst-loss regime, then recovers."""
+    return FaultPlan().burst(start, p_bad, p_good, 0.0, loss_bad, channel).end_burst(stop, channel)
+
+
+def scenario_delay_spike(
+    start: float,
+    stop: float,
+    channel: int = 0,
+    delay: float = 5.0,
+    baseline: float = 0.0,
+) -> FaultPlan:
+    """One channel's propagation delay spikes to ``delay``, then returns to ``baseline``."""
+    return FaultPlan().set_delay(start, delay, channel).set_delay(stop, baseline, channel)
+
+
+def scenario_rate_cut(
+    start: float, stop: float, channel: int = 0, scale: float = 0.1
+) -> FaultPlan:
+    """One channel's rate is cut to ``scale`` of its value, then restored."""
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    return FaultPlan().set_rate(start, scale=scale, channel=channel).set_rate(
+        stop, scale=1.0 / scale, channel=channel
+    )
+
+
+def scenario_partition_heal(start: float, stop: float, channel: Optional[int] = None) -> FaultPlan:
+    """Every channel (or one) goes down at ``start`` and heals at ``stop``."""
+    return FaultPlan().partition(start, channel).heal(stop, channel)
+
+
+#: Name -> factory for the canonical scenarios; each factory takes
+#: ``(start, stop, **overrides)`` and returns a :class:`FaultPlan`.
+CANONICAL_SCENARIOS: Dict[str, Callable[..., FaultPlan]] = {
+    "flap": scenario_flap,
+    "burst": scenario_burst_loss,
+    "delay_spike": scenario_delay_spike,
+    "rate_cut": scenario_rate_cut,
+    "partition_heal": scenario_partition_heal,
+}
+
+
+def canonical_plan(name: str, start: float, stop: float, **overrides) -> FaultPlan:
+    """Build one of the canonical scenarios by name."""
+    try:
+        factory = CANONICAL_SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; expected one of {sorted(CANONICAL_SCENARIOS)}"
+        ) from None
+    return factory(start, stop, **overrides)

@@ -12,6 +12,13 @@ Each link mimics one direction of one testbed channel:
   adversary may still have observed a lost share, which is why observation
   is accounted where the share is *sent*, not where it arrives);
 * **fixed propagation delay** added before delivery -- netem's delay.
+
+Links also carry an **up/down state machine** and **safe runtime setters**
+(:meth:`Link.set_rate`, :meth:`Link.set_loss`, ...) so the fault-injection
+layer (:mod:`repro.netsim.faults`) can model outages, flaps and mid-run
+parameter changes.  A downed link drops its queue and everything in flight,
+reports non-writable (the dynamic scheduler routes around it), and notifies
+writable watchers exactly once when it comes back up.
 """
 
 from __future__ import annotations
@@ -38,11 +45,15 @@ class LinkStats:
     offered: int = 0  # send() calls
     queue_drops: int = 0  # rejected by a full queue
     serialized: int = 0  # finished serialisation onto the wire
-    loss_drops: int = 0  # dropped by the Bernoulli loss process
+    loss_drops: int = 0  # dropped by the loss process (iid or burst model)
     delivered: int = 0  # handed to the receiver callback
     corruptions: int = 0  # payloads tampered with in transit
     bytes_offered: int = 0
     bytes_delivered: int = 0
+    down_drops: int = 0  # dropped before the wire: sends while down, queue flush, aborted serialisation
+    down_losses: int = 0  # dropped off the wire: in flight when the link went down
+    downs: int = 0  # up -> down transitions
+    ups: int = 0  # down -> up transitions
 
     def as_dict(self) -> dict:
         """Counters as a plain dict (for reports and traces)."""
@@ -55,7 +66,26 @@ class LinkStats:
             "corruptions": self.corruptions,
             "bytes_offered": self.bytes_offered,
             "bytes_delivered": self.bytes_delivered,
+            "down_drops": self.down_drops,
+            "down_losses": self.down_losses,
+            "downs": self.downs,
+            "ups": self.ups,
         }
+
+
+class LossModel:
+    """Interface of pluggable per-packet loss processes (duck-typed).
+
+    :meth:`sample` is consulted once per serialised packet *instead of* the
+    link's iid Bernoulli draw; the link passes its own random stream so
+    determinism still flows from the experiment's root seed.  See
+    :class:`repro.netsim.faults.GilbertElliott` for the canonical burst
+    model.
+    """
+
+    def sample(self, rng: np.random.Generator) -> bool:
+        """Return True if the packet should be dropped."""
+        raise NotImplementedError
 
 
 class Link:
@@ -114,8 +144,13 @@ class Link:
         self.queue_limit = queue_limit
         self.name = name
         self.stats = LinkStats()
+        self.up = True
+        self.loss_model: Optional["LossModel"] = None
         self._queue: Deque[Datagram] = deque()
         self._busy = False
+        #: Bumped on every down transition; packets tagged with an older
+        #: epoch were on the wire when it was cut and never arrive.
+        self._epoch = 0
         self._receiver: Optional[Callable[[Datagram], None]] = None
         self._writable_watchers: "list[Callable[[], None]]" = []
         self._transmit_watchers: "list[Callable[[Datagram], None]]" = []
@@ -150,18 +185,25 @@ class Link:
         return len(self._queue)
 
     def writable(self) -> bool:
-        """Whether a send() right now would be accepted (epoll's EPOLLOUT)."""
-        return len(self._queue) < self.queue_limit
+        """Whether a send() right now would be accepted (epoll's EPOLLOUT).
+
+        A downed link is never writable, which is exactly how the dynamic
+        share schedule routes around an outage.
+        """
+        return self.up and len(self._queue) < self.queue_limit
 
     def send(self, datagram: Datagram) -> bool:
         """Offer a datagram to the link.
 
         Returns:
-            True if queued (or immediately serialising); False if the
-            queue was full and the datagram was dropped.
+            True if queued (or immediately serialising); False if the link
+            was down or the queue was full and the datagram was dropped.
         """
         self.stats.offered += 1
         self.stats.bytes_offered += datagram.size
+        if not self.up:
+            self.stats.down_drops += 1
+            return False
         if not self.writable():
             self.stats.queue_drops += 1
             return False
@@ -174,6 +216,76 @@ class Link:
             self._start_next(notify=False)
         return True
 
+    # -- fault control: up/down and runtime parameter mutation -----------------
+
+    def link_down(self) -> None:
+        """Take the link down: flush the queue and cut everything in flight.
+
+        Idempotent.  Queued packets and the one mid-serialisation are
+        counted as ``down_drops``; packets already on the wire are counted
+        as ``down_losses`` when their (now doomed) delivery time arrives.
+        """
+        if not self.up:
+            return
+        self.up = False
+        self.stats.downs += 1
+        self._epoch += 1
+        self.stats.down_drops += len(self._queue)
+        self._queue.clear()
+
+    def link_up(self) -> None:
+        """Bring the link back up and wake any blocked senders.
+
+        Idempotent.  Notifies writable watchers exactly once per down -> up
+        transition (the queue is empty after an outage, so the link is
+        always writable at this point).
+        """
+        if self.up:
+            return
+        self.up = True
+        self.stats.ups += 1
+        for watcher in self._writable_watchers:
+            watcher()
+
+    def set_rate(self, byte_rate: float) -> None:
+        """Change the serialisation rate; applies from the next packet."""
+        if byte_rate <= 0:
+            raise ValueError(f"byte_rate must be positive, got {byte_rate}")
+        self.byte_rate = byte_rate
+
+    def set_loss(self, loss: float) -> None:
+        """Change the iid loss probability (ignored while a loss model is set)."""
+        if not 0.0 <= loss < 1.0:
+            raise ValueError(f"loss must be in [0, 1), got {loss}")
+        self.loss = loss
+
+    def set_delay(self, delay: float) -> None:
+        """Change the propagation delay; applies to packets not yet on the wire."""
+        if delay < 0:
+            raise ValueError(f"delay must be nonnegative, got {delay}")
+        self.delay = delay
+
+    def set_jitter(self, jitter: float) -> None:
+        """Change the delay jitter half-width."""
+        if jitter < 0:
+            raise ValueError(f"jitter must be nonnegative, got {jitter}")
+        self.jitter = jitter
+
+    def set_corruption(self, corruption: float) -> None:
+        """Change the per-delivery tamper probability."""
+        if not 0.0 <= corruption <= 1.0:
+            raise ValueError(f"corruption must be a probability, got {corruption}")
+        self.corruption = corruption
+
+    def set_loss_model(self, model: Optional[LossModel]) -> None:
+        """Install (or with None remove) a pluggable loss process.
+
+        While installed it replaces the iid Bernoulli draw entirely; the
+        configured ``loss`` attribute is untouched and resumes when the
+        model is removed.
+        """
+        self.loss_model = model
+
     # -- internal pipeline -----------------------------------------------------
 
     def _start_next(self, notify: bool = True) -> None:
@@ -184,25 +296,41 @@ class Link:
         was_full = len(self._queue) >= self.queue_limit
         datagram = self._queue.popleft()
         serialisation_time = datagram.size / self.byte_rate
-        self.engine.schedule(serialisation_time, self._finish_serialisation, datagram)
+        self.engine.schedule(
+            serialisation_time, self._finish_serialisation, datagram, self._epoch
+        )
         if notify and was_full:
             for watcher in self._writable_watchers:
                 watcher()
 
-    def _finish_serialisation(self, datagram: Datagram) -> None:
+    def _finish_serialisation(self, datagram: Datagram, epoch: int) -> None:
+        if epoch != self._epoch or not self.up:
+            # The link went down while this packet was serialising: it never
+            # made it onto the wire (no tap fires, no adversary observation).
+            self.stats.down_drops += 1
+            self._start_next()
+            return
         self.stats.serialized += 1
         for tap in self._transmit_watchers:
             tap(datagram)
-        if self.loss > 0.0 and self.rng.random() < self.loss:
+        if self.loss_model is not None:
+            lost = self.loss_model.sample(self.rng)
+        else:
+            lost = self.loss > 0.0 and self.rng.random() < self.loss
+        if lost:
             self.stats.loss_drops += 1
         else:
             delay = self.delay
             if self.jitter > 0.0:
                 delay = max(0.0, delay + self.rng.uniform(-self.jitter, self.jitter))
-            self.engine.schedule(delay, self._deliver, datagram)
+            self.engine.schedule(delay, self._deliver, datagram, epoch)
         self._start_next()
 
-    def _deliver(self, datagram: Datagram) -> None:
+    def _deliver(self, datagram: Datagram, epoch: int) -> None:
+        if epoch != self._epoch:
+            # The wire was cut while this packet was propagating.
+            self.stats.down_losses += 1
+            return
         self.stats.delivered += 1
         self.stats.bytes_delivered += datagram.size
         if (
@@ -246,14 +374,25 @@ class DuplexChannel:
         reverse_rng: np.random.Generator,
         queue_limit: int = DEFAULT_QUEUE_LIMIT,
         jitter: float = 0.0,
+        corruption: float = 0.0,
         name: str = "",
     ):
         self.name = name
         self.forward = Link(
             engine, byte_rate, loss, delay, forward_rng, queue_limit,
-            jitter=jitter, name=f"{name}:fwd",
+            jitter=jitter, corruption=corruption, name=f"{name}:fwd",
         )
         self.reverse = Link(
             engine, byte_rate, loss, delay, reverse_rng, queue_limit,
-            jitter=jitter, name=f"{name}:rev",
+            jitter=jitter, corruption=corruption, name=f"{name}:rev",
         )
+
+    @property
+    def links(self) -> "tuple[Link, Link]":
+        """Both directions, forward first (fault injection iterates these)."""
+        return (self.forward, self.reverse)
+
+    @property
+    def up(self) -> bool:
+        """True when both directions are up."""
+        return self.forward.up and self.reverse.up

@@ -33,8 +33,17 @@ class ChannelPort:
     def name(self) -> str:
         return self.link.name or f"port{self.index}"
 
+    @property
+    def up(self) -> bool:
+        """Whether the underlying link is up (fault injection can down it)."""
+        return self.link.up
+
     def writable(self) -> bool:
-        """Whether a send would currently be accepted (not tail-dropped)."""
+        """Whether a send would currently be accepted (not tail-dropped).
+
+        A downed link reports non-writable, so the dynamic scheduler's
+        readiness selection routes around outages automatically.
+        """
         return self.link.writable()
 
     @property

@@ -12,6 +12,12 @@ provided:
 * ``fixed`` -- ready ports in fixed fd order, the naive epoll iteration.
   Kept for ablations: it reproduces the pathological interactions the
   paper observes (e.g. the κ=3, µ=3.8 loss spike in Fig. 5).
+
+Ports whose link is down (see :mod:`repro.netsim.faults`) report
+non-writable and are therefore excluded from selection; when a link comes
+back up its writable watcher fires and blocked senders resume, which is
+how ReMICSS survives flaps and partitions without any retransmission
+machinery.
 """
 
 from __future__ import annotations

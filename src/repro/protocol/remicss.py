@@ -9,11 +9,12 @@ indices carried through so measured and predicted vectors line up.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Union
 
 from repro.core.channel import ChannelSet
 from repro.core.schedule import ShareSchedule
 from repro.netsim.engine import Engine
+from repro.netsim.faults import FaultInjector, FaultPlan
 from repro.netsim.host import CpuModel
 from repro.netsim.link import DuplexChannel
 from repro.netsim.ports import ChannelPort
@@ -29,6 +30,16 @@ from repro.protocol.sender import ShareSender
 
 #: Delivery callback signature: (seq, payload-or-None, one-way delay).
 DeliverCallback = Callable[[int, Optional[bytes], float], None]
+
+
+def _per_channel(value: Union[float, Sequence[float]], n: int, label: str) -> List[float]:
+    """Broadcast a scalar (or validate a per-channel sequence) to n values."""
+    if isinstance(value, (int, float)):
+        return [float(value)] * n
+    values = [float(v) for v in value]
+    if len(values) != n:
+        raise ValueError(f"{label} needs one value per channel ({n}), got {len(values)}")
+    return values
 
 
 class RemicssNode:
@@ -129,6 +140,10 @@ class PointToPointNetwork:
         symbol_size: the protocol's symbol payload size in bytes.
         rng_registry: random streams for per-link loss draws.
         queue_limit: per-link queue capacity in packets.
+        jitter: netem-style delay variation, a scalar applied to every
+            channel or one value per channel.
+        corruption: per-delivery tamper probability (the Byzantine channel
+            of the PSMT threat model), scalar or per channel.
     """
 
     def __init__(
@@ -137,10 +152,14 @@ class PointToPointNetwork:
         symbol_size: int,
         rng_registry: RngRegistry,
         queue_limit: int = 16,
+        jitter: Union[float, Sequence[float]] = 0.0,
+        corruption: Union[float, Sequence[float]] = 0.0,
     ):
         self.engine = Engine()
         self.channels = channels
         self.symbol_size = symbol_size
+        jitters = _per_channel(jitter, channels.n, "jitter")
+        corruptions = _per_channel(corruption, channels.n, "corruption")
         self.duplex: List[DuplexChannel] = []
         for i, channel in enumerate(channels):
             self.duplex.append(
@@ -152,14 +171,29 @@ class PointToPointNetwork:
                     forward_rng=rng_registry.stream(f"link{i}.fwd.loss"),
                     reverse_rng=rng_registry.stream(f"link{i}.rev.loss"),
                     queue_limit=queue_limit,
+                    jitter=jitters[i],
+                    corruption=corruptions[i],
                     name=channel.name or f"ch{i}",
                 )
             )
+        self.fault_injector: Optional[FaultInjector] = None
         # Host A sends on forward links and receives on reverse links.
         self.ports_a_out = [ChannelPort(i, d.forward) for i, d in enumerate(self.duplex)]
         self.ports_b_in = self.ports_a_out  # same objects: B registers receive callbacks
         self.ports_b_out = [ChannelPort(i, d.reverse) for i, d in enumerate(self.duplex)]
         self.ports_a_in = self.ports_b_out
+
+    def apply_faults(self, plan: FaultPlan) -> FaultInjector:
+        """Arm a fault plan against this network's channels.
+
+        Returns the armed :class:`~repro.netsim.faults.FaultInjector`
+        (also kept as :attr:`fault_injector`) so callers can inspect its
+        log after the run.
+        """
+        injector = FaultInjector(self.engine, self.duplex, plan)
+        injector.arm()
+        self.fault_injector = injector
+        return injector
 
     def node_pair(
         self,

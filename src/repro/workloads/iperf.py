@@ -12,17 +12,18 @@ do *not* count as network loss (iperf's loss figure is receiver-side).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.channel import ChannelSet
 from repro.core.schedule import ShareSchedule
+from repro.netsim.faults import FaultPlan
 from repro.netsim.host import CpuModel
 from repro.netsim.rng import RngRegistry
-from repro.netsim.trace import RateMeter
+from repro.netsim.trace import DelayStats, RateMeter
 from repro.protocol.config import ProtocolConfig
 from repro.protocol.remicss import PointToPointNetwork
-from repro.workloads.setups import rate_to_mbps
+from repro.workloads.setups import delay_to_ms, rate_to_mbps
 
 
 @dataclass(frozen=True)
@@ -39,6 +40,10 @@ class IperfResult:
         source_drops: symbols shed at the source queue (whole run).
         sender_stats: raw sender counters (whole run).
         receiver_stats: raw receiver counters (whole run).
+        delay_stats: one-way source-to-reconstruction delay over the
+            measurement window (unit times).
+        fault_summary: applied fault-event summary when a fault plan was
+            injected, else ``None``.
     """
 
     achieved_rate: float
@@ -49,6 +54,8 @@ class IperfResult:
     source_drops: int
     sender_stats: dict
     receiver_stats: dict
+    delay_stats: DelayStats = field(default_factory=DelayStats)
+    fault_summary: Optional[dict] = None
 
     @property
     def achieved_mbps(self) -> float:
@@ -58,6 +65,11 @@ class IperfResult:
     @property
     def loss_percent(self) -> float:
         return 100.0 * self.loss_fraction
+
+    @property
+    def mean_delay_ms(self) -> float:
+        """Mean one-way delay on the paper's ms axis (0 if nothing delivered)."""
+        return delay_to_ms(self.delay_stats.mean) if self.delay_stats.count else 0.0
 
 
 def practical_max_rate(channels: ChannelSet, mu: float, symbol_size: int) -> float:
@@ -87,6 +99,7 @@ def run_iperf(
     receiver_cpu_capacity: Optional[float] = None,
     cpu_queue_limit: int = 64,
     queue_limit: int = 16,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> IperfResult:
     """Run one iperf-style measurement and return its results.
 
@@ -105,6 +118,8 @@ def run_iperf(
         receiver_cpu_capacity: same for the receiver.
         cpu_queue_limit: receiver CPU queue bound (overload -> drops).
         queue_limit: per-link queue capacity in packets.
+        fault_plan: optional deterministic fault timeline (see
+            :mod:`repro.netsim.faults`) armed against the run's channels.
     """
     if offered_rate <= 0:
         raise ValueError(f"offered_rate must be positive, got {offered_rate}")
@@ -113,6 +128,7 @@ def run_iperf(
         channels, config.symbol_size, registry, queue_limit=queue_limit
     )
     engine = network.engine
+    injector = network.apply_faults(fault_plan) if fault_plan is not None else None
     sender_cpu = (
         CpuModel(engine, sender_cpu_capacity) if sender_cpu_capacity else None
     )
@@ -130,7 +146,15 @@ def run_iperf(
     )
 
     meter = RateMeter()
-    node_b.on_deliver(lambda seq, payload, delay: meter.record(engine.now))
+    delays = DelayStats()
+    measuring = {"open": False}
+
+    def on_deliver(seq, payload, delay):
+        meter.record(engine.now)
+        if measuring["open"]:
+            delays.record(delay)
+
+    node_b.on_deliver(on_deliver)
 
     payload_rng = registry.stream("workload.payload")
     interval = 1.0 / offered_rate
@@ -150,6 +174,7 @@ def run_iperf(
 
     def open_window() -> None:
         meter.start(engine.now)
+        measuring["open"] = True
         transmitted_at_open["value"] = node_a.sender.stats.symbols_sent
 
     engine.schedule_at(warmup, open_window)
@@ -168,4 +193,6 @@ def run_iperf(
         source_drops=node_a.sender.stats.source_drops,
         sender_stats=node_a.sender.stats.as_dict(),
         receiver_stats=node_b.receiver.stats.as_dict(),
+        delay_stats=delays,
+        fault_summary=injector.summary() if injector is not None else None,
     )

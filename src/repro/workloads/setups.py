@@ -33,6 +33,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.core.channel import ChannelSet
+from repro.netsim.faults import CANONICAL_SCENARIOS, FaultPlan, canonical_plan
 
 #: Symbol payload size in bytes (10,000 bits).
 SYMBOL_SIZE = 1250
@@ -119,3 +120,37 @@ def delayed_setup(risks: Optional[Sequence[float]] = None) -> ChannelSet:
     """The Delayed setup: Diverse rates with 2.5, .25, 12.5, 5, .5 ms delay."""
     n = len(DIVERSE_RATES_MBPS)
     return _build(DIVERSE_RATES_MBPS, [0.0] * n, DELAYED_DELAY_MS, risks)
+
+
+#: Names of the canonical fault scenarios available to the testbed setups
+#: (see :data:`repro.netsim.faults.CANONICAL_SCENARIOS`).
+FAULT_SCENARIOS = tuple(sorted(CANONICAL_SCENARIOS))
+
+
+def testbed_fault_plan(
+    scenario: str,
+    start_ms: float = 100.0,
+    stop_ms: float = 250.0,
+    channel: Optional[int] = None,
+    **overrides,
+) -> FaultPlan:
+    """A canonical fault scenario in the testbed's units.
+
+    Times are given on the paper's millisecond axis and converted to
+    simulator unit times; scenario-specific overrides (e.g. ``period`` for
+    the flap, ``p_bad`` for the burst) are forwarded in unit times.
+
+    The ``delay_spike`` scenario also accepts ``delay_ms``/``baseline_ms``
+    overrides, converted here.
+    """
+    kwargs = dict(overrides)
+    if scenario == "delay_spike":
+        if "delay_ms" in kwargs:
+            kwargs["delay"] = ms_to_delay(kwargs.pop("delay_ms"))
+        if "baseline_ms" in kwargs:
+            kwargs["baseline"] = ms_to_delay(kwargs.pop("baseline_ms"))
+    if channel is not None:
+        kwargs["channel"] = channel
+    return canonical_plan(
+        scenario, ms_to_delay(start_ms), ms_to_delay(stop_ms), **kwargs
+    )

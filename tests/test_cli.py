@@ -127,3 +127,50 @@ class TestSimulateCommand:
         # Sanity: the measured ratio printed is near 1.
         ratio = float(out.split("achieved/optimal = ")[1].splitlines()[0])
         assert 0.9 < ratio <= 1.0
+
+    def test_faults_scenario_by_name(self, channels_file, capsys):
+        code = main(
+            [
+                "simulate", "--channels", channels_file,
+                "--kappa", "1", "--mu", "1",
+                "--duration", "5", "--warmup", "1",
+                "--faults", "flap",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "faults applied" in out
+        summary = json.loads(out.split("faults applied = ")[1].splitlines()[0])
+        assert summary["applied"] >= 2
+        assert summary["by_action"].get("link_down", 0) >= 1
+
+    def test_faults_json_file(self, channels_file, tmp_path, capsys):
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(json.dumps([
+            {"time": 2.0, "action": "link_down", "channel": 0},
+            {"time": 3.0, "action": "link_up", "channel": 0},
+        ]))
+        code = main(
+            [
+                "simulate", "--channels", channels_file,
+                "--kappa", "1", "--mu", "1",
+                "--duration", "5", "--warmup", "1",
+                "--faults", str(plan_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        summary = json.loads(out.split("faults applied = ")[1].splitlines()[0])
+        assert summary["by_action"] == {"link_down": 1, "link_up": 1}
+
+    def test_faults_unknown_spec_errors(self, channels_file, capsys):
+        code = main(
+            [
+                "simulate", "--channels", channels_file,
+                "--kappa", "1", "--mu", "1",
+                "--duration", "5", "--warmup", "1",
+                "--faults", "no-such-scenario",
+            ]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err

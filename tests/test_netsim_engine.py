@@ -1,5 +1,6 @@
 """The discrete-event engine: ordering, cancellation, clock discipline."""
 
+import numpy as np
 import pytest
 
 from repro.netsim.engine import Engine
@@ -103,3 +104,108 @@ class TestCancellation:
             engine.schedule(1.0, lambda: None)
         engine.run()
         assert engine.events_processed == 5
+
+
+def _random_workload_trace(seed, end_time=50.0, chunks=1):
+    """Drive a randomised self-scheduling workload; return its event trace.
+
+    Callbacks schedule more work, cancel pending events, and mutate a
+    faulty link mid-run, exercising every engine code path the fault layer
+    relies on.  The trace is the byte-serialised (time, tag) sequence.
+    """
+    from repro.netsim.faults import FaultInjector, FaultPlan
+    from repro.netsim.link import Link
+    from repro.netsim.packet import Datagram
+
+    engine = Engine()
+    rng = np.random.default_rng(seed)
+    trace = []
+    pending = {}  # tag -> not-yet-fired Event
+    cancelled_tags = set()
+
+    link = Link(engine, byte_rate=50.0, loss=0.2, delay=0.5,
+                rng=np.random.default_rng(seed + 1), queue_limit=4)
+    link.set_receiver(lambda dg: trace.append((engine.now, "deliver", dg.meta["tag"])))
+    plan = (FaultPlan()
+            .link_down(12.0, channel=0, direction="fwd")
+            .link_up(15.0, channel=0, direction="fwd")
+            .set_loss(20.0, 0.5, channel=0, direction="fwd")
+            .set_rate(30.0, scale=0.5, channel=0, direction="fwd"))
+
+    class _OneLink:  # duck-types DuplexChannel for the injector
+        forward = link
+        reverse = link
+
+    FaultInjector(engine, [_OneLink()], plan).arm()
+
+    def tick(tag):
+        pending.pop(tag, None)  # this event has now fired
+        trace.append((engine.now, "tick", tag))
+        for _ in range(int(rng.integers(0, 3))):
+            child = int(rng.integers(1_000, 1_000_000))
+            pending[child] = engine.schedule(float(rng.uniform(0, 5)), tick, child)
+        if pending and rng.random() < 0.3:
+            victim_tag = sorted(pending)[int(rng.integers(0, len(pending)))]
+            pending.pop(victim_tag).cancel()
+            cancelled_tags.add(victim_tag)
+        if rng.random() < 0.5:
+            link.send(Datagram(size=25, meta={"tag": tag}))
+
+    for n in range(30):
+        engine.schedule(float(rng.uniform(0, end_time / 2)), tick, n)
+
+    # Optionally split the run into arbitrary run_until increments.
+    if chunks == 1:
+        engine.run_until(end_time)
+    else:
+        for bound in np.linspace(end_time / chunks, end_time, chunks):
+            engine.run_until(float(bound))
+    return repr(trace).encode(), trace, cancelled_tags, engine
+
+
+class TestDeterminismProperties:
+    def test_same_seed_runs_are_byte_identical_with_faults(self):
+        for seed in (0, 7, 123):
+            first, *_ = _random_workload_trace(seed)
+            second, *_ = _random_workload_trace(seed)
+            assert first == second
+
+    def test_different_seeds_diverge(self):
+        first, *_ = _random_workload_trace(1)
+        second, *_ = _random_workload_trace(2)
+        assert first != second
+
+    def test_run_until_chunking_does_not_change_the_trace(self):
+        whole, *_ = _random_workload_trace(42, chunks=1)
+        for chunks in (2, 7, 50):
+            split, *_ = _random_workload_trace(42, chunks=chunks)
+            assert split == whole
+
+    def test_cancelled_events_never_fire(self):
+        for seed in (3, 9):
+            _, trace, cancelled, _ = _random_workload_trace(seed)
+            fired_ticks = {tag for _, kind, tag in trace if kind == "tick"}
+            assert not fired_ticks & cancelled
+
+    def test_clock_is_monotonic_throughout(self):
+        _, trace, _, engine = _random_workload_trace(5)
+        times = [t for t, *_ in trace]
+        assert times == sorted(times)
+        assert engine.now == 50.0
+
+    def test_same_time_events_fire_in_scheduling_order(self):
+        engine = Engine()
+        rng = np.random.default_rng(0)
+        fired = []
+        expected = {}
+        serial = 0
+        # Many events on a coarse time grid -> plenty of exact ties.
+        for _ in range(500):
+            t = float(rng.integers(0, 10))
+            tag = serial
+            serial += 1
+            expected.setdefault(t, []).append(tag)
+            engine.schedule_at(t, lambda t=t, tag=tag: fired.append((t, tag)))
+        engine.run()
+        for t, tags in expected.items():
+            assert [tag for ft, tag in fired if ft == t] == tags

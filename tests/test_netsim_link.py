@@ -172,6 +172,194 @@ class TestLossAndTaps:
         assert s.delivered == s.serialized - s.loss_drops
 
 
+class TestUpDownStateMachine:
+    def test_down_link_is_not_writable_and_rejects_sends(self):
+        engine = Engine()
+        link = make_link(engine)
+        link.link_down()
+        assert not link.up
+        assert not link.writable()
+        assert link.send(Datagram(size=10)) is False
+        assert link.stats.offered == 1
+        assert link.stats.down_drops == 1
+        assert link.stats.queue_drops == 0
+
+    def test_down_flushes_queue_and_cuts_inflight(self):
+        engine = Engine()
+        link = make_link(engine, byte_rate=10.0, delay=5.0, queue_limit=10)
+        delivered = []
+        link.set_receiver(lambda dg: delivered.append(dg))
+        for _ in range(4):
+            link.send(Datagram(size=10))
+        # t=1: first packet serialised and on the wire (arrives t=6).
+        engine.run_until(1.5)
+        link.link_down()
+        engine.run()
+        assert delivered == []
+        s = link.stats
+        # One aborted mid-serialisation + two flushed from the queue…
+        assert s.down_drops == 3
+        # …and the one already on the wire never arrives.
+        assert s.down_losses == 1
+        assert s.serialized == 1
+        assert s.delivered == 0
+
+    def test_up_restores_delivery(self):
+        engine = Engine()
+        link = make_link(engine, byte_rate=100.0)
+        delivered = []
+        link.set_receiver(lambda dg: delivered.append(dg))
+        link.link_down()
+        engine.schedule_at(5.0, link.link_up)
+        engine.schedule_at(6.0, lambda: link.send(Datagram(size=10)))
+        engine.run()
+        assert len(delivered) == 1
+        assert link.stats.downs == 1 and link.stats.ups == 1
+
+    def test_transitions_are_idempotent(self):
+        engine = Engine()
+        link = make_link(engine)
+        notifications = []
+        link.watch_writable(lambda: notifications.append(engine.now))
+        link.link_down()
+        link.link_down()
+        assert link.stats.downs == 1
+        link.link_up()
+        link.link_up()
+        assert link.stats.ups == 1
+        assert notifications == [0.0]  # exactly one per down -> up transition
+
+    def test_up_notification_fires_once_per_transition(self):
+        engine = Engine()
+        link = make_link(engine)
+        notifications = []
+        link.watch_writable(lambda: notifications.append(engine.now))
+        for t in (1.0, 3.0, 5.0):
+            engine.schedule_at(t, link.link_down)
+            engine.schedule_at(t + 1.0, link.link_up)
+        engine.run()
+        assert notifications == [2.0, 4.0, 6.0]
+
+    def test_packet_launched_before_flap_dies_even_if_link_is_up_again(self):
+        engine = Engine()
+        link = make_link(engine, byte_rate=100.0, delay=10.0)
+        delivered = []
+        link.set_receiver(lambda dg: delivered.append(dg))
+        link.send(Datagram(size=10))  # on the wire at t=0.1, arrives t=10.1
+        engine.schedule_at(2.0, link.link_down)
+        engine.schedule_at(3.0, link.link_up)
+        engine.run()
+        assert delivered == []
+        assert link.stats.down_losses == 1
+
+
+class TestRuntimeSetters:
+    def test_set_rate_applies_to_next_packet(self):
+        engine = Engine()
+        link = make_link(engine, byte_rate=10.0, queue_limit=10)
+        arrivals = []
+        link.set_receiver(lambda dg: arrivals.append(engine.now))
+        link.send(Datagram(size=10))  # 1 unit at 10 B/unit
+        link.send(Datagram(size=10))
+        engine.schedule_at(0.5, link.set_rate, 100.0)  # mid-first-packet
+        engine.run()
+        # First packet keeps its old serialisation time; second uses the new rate.
+        assert arrivals == [pytest.approx(1.0), pytest.approx(1.1)]
+
+    def test_set_delay_applies_to_packets_not_yet_on_the_wire(self):
+        engine = Engine()
+        link = make_link(engine, byte_rate=10.0, delay=5.0, queue_limit=10)
+        arrivals = []
+        link.set_receiver(lambda dg: arrivals.append(engine.now))
+        link.send(Datagram(size=10))
+        link.send(Datagram(size=10))
+        engine.schedule_at(1.5, link.set_delay, 0.0)  # after the first launched
+        engine.run()
+        assert arrivals == [pytest.approx(2.0), pytest.approx(6.0)]  # reordered!
+
+    def test_set_loss_changes_the_drop_probability(self):
+        engine = Engine()
+        link = make_link(engine, byte_rate=1e6, queue_limit=100_000, seed=3)
+        link.set_receiver(lambda dg: None)
+        for _ in range(1000):
+            link.send(Datagram(size=1))
+        engine.run()
+        assert link.stats.loss_drops == 0
+        link.set_loss(0.5)
+        for _ in range(1000):
+            link.send(Datagram(size=1))
+        engine.run()
+        assert link.stats.loss_drops / 1000 == pytest.approx(0.5, abs=0.06)
+
+    def test_setters_validate(self):
+        engine = Engine()
+        link = make_link(engine)
+        with pytest.raises(ValueError):
+            link.set_rate(0.0)
+        with pytest.raises(ValueError):
+            link.set_loss(1.0)
+        with pytest.raises(ValueError):
+            link.set_delay(-0.1)
+        with pytest.raises(ValueError):
+            link.set_jitter(-0.1)
+        with pytest.raises(ValueError):
+            link.set_corruption(1.5)
+
+
+class TestConservationInvariants:
+    @staticmethod
+    def _assert_conserved(link, queued=0, inflight=0):
+        s = link.stats
+        assert s.offered == s.queue_drops + s.down_drops + s.serialized + queued, s.as_dict()
+        assert s.serialized == s.loss_drops + s.down_losses + s.delivered + inflight, s.as_dict()
+
+    def test_saturating_sender_tail_drop_accounting(self):
+        engine = Engine()
+        link = make_link(engine, byte_rate=10.0, queue_limit=3)
+        link.set_receiver(lambda dg: None)
+        # Offer 10 packets/unit against a 1 packet/unit wire for 20 units.
+        for i in range(200):
+            engine.schedule_at(i * 0.1, link.send, Datagram(size=10))
+        engine.run()
+        self._assert_conserved(link)
+        # The wire drains 1 packet per unit time; everything else tail-drops.
+        assert link.stats.queue_drops > 150
+        assert link.stats.delivered == link.stats.serialized
+
+    def test_conservation_through_loss_and_flaps(self):
+        engine = Engine()
+        link = make_link(engine, byte_rate=20.0, loss=0.3, delay=0.7, queue_limit=3, seed=9)
+        link.set_receiver(lambda dg: None)
+        for i in range(300):
+            engine.schedule_at(i * 0.05, link.send, Datagram(size=10))
+        for t in (2.0, 6.0, 11.0):
+            engine.schedule_at(t, link.link_down)
+            engine.schedule_at(t + 1.5, link.link_up)
+        engine.run()
+        self._assert_conserved(link)
+        s = link.stats
+        assert s.downs == 3 and s.ups == 3
+        assert s.down_drops > 0
+        assert s.loss_drops > 0
+        assert s.delivered > 0
+
+    def test_full_to_writable_edge_fires_exactly_once_per_transition(self):
+        engine = Engine()
+        link = make_link(engine, byte_rate=10.0, queue_limit=2)
+        link.set_receiver(lambda dg: None)
+        notified = []
+        link.watch_writable(lambda: notified.append(engine.now))
+        # A bursty saturating sender: five offers every 2 units, then idle.
+        # Each burst fills the queue; the watcher must fire exactly when
+        # the queue re-opens (full -> writable), once per transition.
+        for burst in range(4):
+            for _ in range(5):
+                engine.schedule_at(burst * 2.0, link.send, Datagram(size=10))
+        engine.run()
+        assert notified == [pytest.approx(t) for t in (1.0, 2.0, 4.0, 6.0)]
+        self._assert_conserved(link)
+
+
 class TestDuplex:
     def test_directions_are_independent(self):
         engine = Engine()
