@@ -9,7 +9,6 @@
    (retransmitting) vs best-effort threshold transport.
 """
 
-import numpy as np
 import pytest
 from conftest import run_once
 

@@ -7,7 +7,6 @@ cost and the end-to-end integrity difference on a tampering channel.
 """
 
 import numpy as np
-import pytest
 from conftest import run_once
 
 from repro.core.channel import ChannelSet

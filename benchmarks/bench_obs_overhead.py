@@ -1,0 +1,117 @@
+"""Observability overhead: instrumented vs. uninstrumented iperf runs.
+
+Quantifies what :mod:`repro.obs` costs on the hot path, in four modes on
+the same seeded Diverse-setup run:
+
+* ``baseline``       -- no observability object at all (``obs=None``);
+* ``disabled``       -- :meth:`Observability.disabled` (null registry and
+  tracer wired through every instrumentation point), the "compiled out"
+  configuration whose target overhead is ~0%;
+* ``metrics``        -- live registry, tracing off (target: <= 5% wall-time
+  overhead, and *zero* change in simulated results);
+* ``metrics+trace``  -- live registry and tracer.
+
+Because every instrument observes only simulated quantities and draws no
+randomness, all four modes must produce byte-for-byte identical simulation
+outcomes (goodput, loss, delay); the bench asserts that too.
+
+Run under pytest-benchmark (``pytest benchmarks/bench_obs_overhead.py -s``)
+or directly for the JSON comparison::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py
+"""
+
+import json
+import time
+
+from conftest import run_once
+
+from repro.obs import Observability
+from repro.protocol.config import ProtocolConfig
+from repro.workloads.iperf import practical_max_rate, run_iperf
+from repro.workloads.setups import diverse_setup
+
+SEED = 11
+WARMUP = 5.0
+DURATION = 30.0
+#: Timing repetitions per mode; the minimum is reported (standard practice
+#: for wall-clock micro-measurements on shared machines).
+REPEATS = 5
+
+MODES = ("baseline", "disabled", "metrics", "metrics+trace")
+
+
+def _make_obs(mode):
+    if mode == "baseline":
+        return None
+    if mode == "disabled":
+        return Observability.disabled()
+    return Observability.create(tracing=(mode == "metrics+trace"))
+
+
+def _timed_run(mode):
+    """One timed iperf run in the given observability mode."""
+    channels = diverse_setup()
+    config = ProtocolConfig(kappa=2.0, mu=3.0, share_synthetic=True)
+    offered = 0.9 * practical_max_rate(channels, config.mu, config.symbol_size)
+    obs = _make_obs(mode)
+    started = time.perf_counter()
+    result = run_iperf(
+        channels,
+        config,
+        offered_rate=offered,
+        duration=DURATION,
+        warmup=WARMUP,
+        seed=SEED,
+        obs=obs,
+    )
+    elapsed = time.perf_counter() - started
+    return elapsed, result, obs
+
+
+def compare_modes():
+    """All four modes as one dict, with overhead relative to baseline.
+
+    Repetitions are interleaved round-robin (and the minimum kept) so CPU
+    frequency drift hits every mode equally instead of whichever ran last.
+    """
+    comparison = {}
+    for repeat in range(REPEATS):
+        for mode in MODES:
+            elapsed, result, obs = _timed_run(mode)
+            row = comparison.get(mode)
+            if row is None or elapsed < row["wall_seconds"]:
+                row = {
+                    "wall_seconds": elapsed,
+                    "goodput_symbols_per_unit": result.achieved_rate,
+                    "loss_percent": result.loss_percent,
+                    "mean_delay_ms": result.mean_delay_ms,
+                    "symbols_delivered": result.symbols_delivered,
+                }
+                if obs is not None:
+                    snapshot = obs.registry.snapshot()
+                    row["metric_series"] = len(snapshot)
+                    row["trace_events"] = len(obs.tracer.events) if obs.tracer.enabled else 0
+                comparison[mode] = row
+    base = comparison["baseline"]
+    for mode, row in comparison.items():
+        row["overhead_percent"] = (
+            100.0 * (row["wall_seconds"] / base["wall_seconds"] - 1.0)
+            if base["wall_seconds"]
+            else 0.0
+        )
+        # Observability must never perturb the simulation itself.
+        assert row["goodput_symbols_per_unit"] == base["goodput_symbols_per_unit"], mode
+        assert row["symbols_delivered"] == base["symbols_delivered"], mode
+        assert row["loss_percent"] == base["loss_percent"], mode
+    return comparison
+
+
+def test_obs_overhead(benchmark):
+    comparison = run_once(benchmark, compare_modes)
+    assert comparison["metrics"]["metric_series"] > 100
+    assert comparison["metrics+trace"]["trace_events"] > 0
+
+
+if __name__ == "__main__":
+    print(json.dumps(compare_modes(), indent=2, sort_keys=True))

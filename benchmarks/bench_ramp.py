@@ -9,7 +9,6 @@ throughput gained and the splitting cost, next to Shamir at the same
 """
 
 import numpy as np
-import pytest
 from conftest import run_once
 
 from repro.core.channel import ChannelSet

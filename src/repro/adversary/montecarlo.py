@@ -10,7 +10,8 @@ of Sec. IV-A are correct, and power the adversary-simulation example.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable
+from typing import Iterable
+
 
 import numpy as np
 

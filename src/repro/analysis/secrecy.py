@@ -23,7 +23,8 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
+
 
 from repro.gf.field import Field
 from repro.gf.poly import evaluate

@@ -183,6 +183,7 @@ def load_fault_plan(spec: Optional[str], duration: float, warmup: float):
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.obs import Observability, write_metrics, write_trace
     from repro.protocol.config import ProtocolConfig
     from repro.workloads.iperf import practical_max_rate, run_iperf
 
@@ -192,6 +193,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         channels, args.mu, config.symbol_size
     )
     fault_plan = load_fault_plan(args.faults, args.duration, args.warmup)
+    obs = None
+    if args.metrics_out or args.trace_out:
+        obs = Observability.create(tracing=bool(args.trace_out))
     result = run_iperf(
         channels,
         config,
@@ -200,6 +204,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         warmup=args.warmup,
         seed=args.seed,
         fault_plan=fault_plan,
+        obs=obs,
     )
     optimum = optimal_rate(channels, args.mu)
     print(f"offered rate   = {offered:.4f} symbols/unit")
@@ -210,6 +215,18 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     print(f"mean delay     = {result.mean_delay_ms:.4f} ms")
     if result.fault_summary is not None:
         print(f"faults applied = {json.dumps(result.fault_summary, sort_keys=True)}")
+    if obs is not None:
+        snapshot = obs.registry.snapshot()
+        if args.metrics_out:
+            fmt = write_metrics(args.metrics_out, snapshot, fmt=args.metrics_format)
+            print(f"metrics        = {len(snapshot)} series -> {args.metrics_out} ({fmt})")
+        if args.trace_out:
+            write_trace(args.trace_out, obs.tracer.events)
+            dropped = f", {obs.tracer.dropped} dropped" if obs.tracer.dropped else ""
+            print(
+                f"trace          = {len(obs.tracer.events)} events -> "
+                f"{args.trace_out}{dropped}"
+            )
     return 0
 
 
@@ -271,6 +288,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--faults",
         help="fault injection: a canonical scenario name (flap, burst, "
         "delay_spike, rate_cut, partition_heal) or a JSON fault-plan file",
+    )
+    simulate.add_argument(
+        "--metrics-out",
+        help="write a metrics dump to this path after the run (format "
+        "inferred from the suffix: .jsonl/.json, .csv, .prom/.txt; see "
+        "docs/OBSERVABILITY.md)",
+    )
+    simulate.add_argument(
+        "--metrics-format",
+        choices=["jsonl", "csv", "prometheus"],
+        help="force the metrics dump format regardless of suffix",
+    )
+    simulate.add_argument(
+        "--trace-out",
+        help="also record a structured event trace and write it to this "
+        "path as JSON-lines",
     )
     simulate.set_defaults(func=cmd_simulate)
 

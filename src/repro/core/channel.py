@@ -19,7 +19,8 @@ assumption.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
 from typing import FrozenSet, Iterable, Iterator, Sequence, Tuple
 
 import numpy as np

@@ -18,7 +18,6 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 from repro.core.program import Objective, optimal_property_value
-from repro.core.rate import optimal_rate
 from repro.core.tradeoff import mu_grid
 from repro.lp import InfeasibleError
 from repro.protocol.config import ProtocolConfig

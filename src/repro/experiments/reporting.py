@@ -18,6 +18,10 @@ def format_table(
     """Render rows as an aligned monospace table.
 
     Floats are fixed to ``precision`` decimals; other values are str()'d.
+    Tolerates ragged input: rows shorter than the widest row (or the
+    header) are padded with empty cells, longer rows widen the table with
+    unnamed columns.  An empty row list renders the header alone, and a
+    fully empty table renders as an empty string.
     """
     rendered: List[List[str]] = [[str(h) for h in headers]]
     for row in rows:
@@ -27,7 +31,12 @@ def format_table(
                 for value in row
             ]
         )
-    widths = [max(len(r[col]) for r in rendered) for col in range(len(headers))]
+    ncols = max(len(r) for r in rendered)
+    if ncols == 0:
+        return ""
+    for r in rendered:
+        r.extend([""] * (ncols - len(r)))
+    widths = [max(len(r[col]) for r in rendered) for col in range(ncols)]
     lines = []
     for i, row in enumerate(rendered):
         lines.append("  ".join(cell.rjust(width) for cell, width in zip(row, widths)))

@@ -9,7 +9,8 @@ tests and examples to reason about the algebra directly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
+
 
 from repro.gf.field import Field
 

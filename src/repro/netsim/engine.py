@@ -45,6 +45,7 @@ class Engine:
         self._seq = 0
         self._queue: List[Event] = []
         self._processed = 0
+        self._dispatch_hook: Optional[Callable[[Event, int], None]] = None
 
     @property
     def now(self) -> float:
@@ -55,6 +56,17 @@ class Engine:
     def events_processed(self) -> int:
         """Number of callbacks executed so far (for engine benchmarks)."""
         return self._processed
+
+    def set_dispatch_hook(self, hook: Optional[Callable[[Event, int], None]]) -> None:
+        """Install (or with None remove) a per-dispatch observer.
+
+        ``hook(event, queue_depth)`` is called immediately before each
+        event's callback runs, with the number of events still queued.
+        The observability layer uses this for per-handler dispatch counts
+        and queue-depth gauges; an uninstrumented engine pays only one
+        ``None`` check per event.  The hook must not mutate the queue.
+        """
+        self._dispatch_hook = hook
 
     def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule ``callback(*args)`` at absolute simulated ``time``.
@@ -93,6 +105,8 @@ class Engine:
                 continue
             self._now = event.time
             self._processed += 1
+            if self._dispatch_hook is not None:
+                self._dispatch_hook(event, len(self._queue))
             event.callback(*event.args)
         self._now = end_time
 
@@ -104,6 +118,8 @@ class Engine:
                 continue
             self._now = event.time
             self._processed += 1
+            if self._dispatch_hook is not None:
+                self._dispatch_hook(event, len(self._queue))
             event.callback(*event.args)
 
     def pending(self) -> int:

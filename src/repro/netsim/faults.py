@@ -370,6 +370,9 @@ class FaultInjector:
         self.duplex = list(channels)
         self.plan = plan
         self.log: List[Tuple[float, FaultEvent]] = []
+        #: Structured tracer attached by :mod:`repro.obs.instrument`; when
+        #: set, every applied event also emits a ``fault_applied`` trace.
+        self.tracer = None
         self._armed = False
         for event in plan:
             if event.channel is not None and event.channel >= len(self.duplex):
@@ -407,6 +410,13 @@ class FaultInjector:
 
     def _apply(self, event: FaultEvent) -> None:
         self.log.append((self.engine.now, event))
+        if self.tracer is not None:
+            self.tracer.event(
+                "fault_applied",
+                action=event.action,
+                channel=event.channel,
+                direction=event.direction,
+            )
         params = event.params
         for link in self._links(event):
             if event.action in ("link_down", "partition"):

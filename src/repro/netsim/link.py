@@ -24,7 +24,8 @@ writable watchers exactly once when it comes back up.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
 from typing import Callable, Deque, Optional
 
 import numpy as np

@@ -31,7 +31,6 @@ from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
-from repro.core.overlap import path_edges
 from repro.netsim.engine import Engine
 from repro.netsim.link import Link
 from repro.netsim.packet import Datagram

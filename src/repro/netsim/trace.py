@@ -52,12 +52,21 @@ class RateMeter:
         return self._ended_at - self._started_at
 
     def rate(self) -> float:
-        """Delivered symbols per unit time over the window."""
-        return self.count / self.window
+        """Delivered symbols per unit time over the window.
+
+        A zero-length window has no meaningful rate; 0.0 is returned
+        instead of raising ``ZeroDivisionError`` (nothing was delivered
+        in no time).  An unopened/unclosed window still raises
+        ``RuntimeError`` via :attr:`window`.
+        """
+        window = self.window
+        return self.count / window if window > 0 else 0.0
 
     def byte_rate(self) -> float:
-        """Delivered bytes per unit time over the window."""
-        return self.bytes / self.window
+        """Delivered bytes per unit time over the window (0.0 when the
+        window has zero length, mirroring :meth:`rate`)."""
+        window = self.window
+        return self.bytes / window if window > 0 else 0.0
 
 
 @dataclass

@@ -1,0 +1,69 @@
+"""Simulation-wide observability: metrics, structured tracing, exporters.
+
+The evaluation of the paper is entirely about *measured* rate, loss and
+delay; this package makes those measurements first-class across the whole
+simulator instead of scattered ad-hoc counters:
+
+* :mod:`repro.obs.metrics` -- a :class:`MetricsRegistry` of counters,
+  gauges and fixed-bucket histograms.  Everything is keyed to simulated
+  time (no wall clock anywhere), so a seeded run produces a byte-identical
+  metrics dump every time.
+* :mod:`repro.obs.tracing` -- a structured event :class:`Tracer` with
+  spans (``with tracer.span("share_tx", channel=i): ...``) backed by a
+  bounded ring buffer.
+* :mod:`repro.obs.export` -- exporters to JSON-lines, CSV and Prometheus
+  text format, plus parsers for round-trip testing.
+* :mod:`repro.obs.instrument` -- :class:`Observability`, the bundle that
+  wires a registry and tracer into a :class:`~repro.protocol.remicss.PointToPointNetwork`
+  and its protocol nodes.
+
+Disabled observability (:meth:`Observability.disabled`, backed by
+:class:`NullRegistry` / :class:`NullTracer`) is a no-op on every hot path,
+so uninstrumented runs pay ~nothing.  See ``docs/OBSERVABILITY.md`` for
+the metric catalogue and naming convention.
+"""
+
+from repro.obs.export import (
+    metrics_from_csv,
+    metrics_from_jsonl,
+    metrics_to_csv,
+    metrics_to_jsonl,
+    metrics_to_prometheus,
+    trace_to_jsonl,
+    write_metrics,
+    write_trace,
+)
+from repro.obs.instrument import Observability, instrument_network, instrument_node
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.tracing import NullTracer, Span, TraceEvent, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Tracer",
+    "NullTracer",
+    "Span",
+    "TraceEvent",
+    "Observability",
+    "instrument_network",
+    "instrument_node",
+    "metrics_to_jsonl",
+    "metrics_to_csv",
+    "metrics_to_prometheus",
+    "metrics_from_jsonl",
+    "metrics_from_csv",
+    "trace_to_jsonl",
+    "write_metrics",
+    "write_trace",
+]

@@ -1,0 +1,289 @@
+"""Wiring: attach a metrics registry and tracer to a running simulation.
+
+Instrumentation comes in two flavours, chosen per metric by cost:
+
+* **push** -- the component updates an instrument on its own fast path
+  (engine dispatch counters, the receiver's reconstruct-latency
+  histogram, trace spans).  Push sites hold a direct instrument
+  reference, so the disabled case costs one ``None`` check.
+* **pull** -- the component already keeps cheap plain-int counters
+  (:class:`~repro.netsim.link.LinkStats`,
+  :class:`~repro.protocol.sender.SenderStats`, ...); a *collector*
+  registered on the registry copies them into instruments only when a
+  snapshot is taken.  Pull sites cost nothing while the simulation runs.
+
+The full metric catalogue and naming convention live in
+``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.obs.metrics import (
+    DEFAULT_DEPTH_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.tracing import DEFAULT_CAPACITY, NullTracer, Tracer
+
+
+class Observability:
+    """A registry + tracer bundle handed through the simulation stack.
+
+    Build one with :meth:`create` (live) or :meth:`disabled` (no-op), then
+    wire it with :func:`instrument_network` / :func:`instrument_node`.
+    ``obs.enabled`` distinguishes the two without isinstance checks.
+    """
+
+    def __init__(self, registry: MetricsRegistry, tracer: Tracer):
+        self.registry = registry
+        self.tracer = tracer
+
+    @classmethod
+    def create(cls, tracing: bool = True, trace_capacity: int = DEFAULT_CAPACITY) -> "Observability":
+        """A live bundle.  The tracer's clock is bound to the engine by
+        :func:`instrument_network` (until then it stamps time 0)."""
+        tracer: Tracer = Tracer(clock=lambda: 0.0, capacity=trace_capacity) if tracing else NullTracer()
+        return cls(MetricsRegistry(), tracer)
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        """A bundle whose every instrument is a no-op."""
+        return cls(NullRegistry(), NullTracer())
+
+    @property
+    def enabled(self) -> bool:
+        return self.registry.enabled
+
+    def snapshot(self):
+        """Shorthand for ``registry.snapshot()``."""
+        return self.registry.snapshot()
+
+
+# -- engine -----------------------------------------------------------------------
+
+
+class _EngineObserver:
+    """Per-dispatch hook: handler-labelled event counts + queue depth.
+
+    This runs once per simulated event, so it does the absolute minimum
+    inline -- three plain-dict/int operations -- and leaves instrument
+    materialisation to the snapshot-time collector.
+    """
+
+    __slots__ = ("counts", "depth", "max_depth")
+
+    def __init__(self) -> None:
+        # Keyed on the underlying function object (identity hash), not its
+        # qualname (string hash through the bound-method proxy): ~2x
+        # cheaper per event.  Collectors resolve names at snapshot time.
+        self.counts: Dict[object, int] = {}
+        self.depth = 0
+        self.max_depth = 0
+
+    def __call__(self, event, queue_depth: int) -> None:
+        callback = event.callback
+        key = getattr(callback, "__func__", callback)
+        counts = self.counts
+        if key in counts:
+            counts[key] += 1
+        else:
+            counts[key] = 1
+        self.depth = queue_depth
+        if queue_depth > self.max_depth:
+            self.max_depth = queue_depth
+
+    def named_counts(self) -> Dict[str, int]:
+        """Handler qualname -> dispatch count (merging same-named keys)."""
+        named: Dict[str, int] = {}
+        for key, count in self.counts.items():
+            name = getattr(key, "__qualname__", repr(key))
+            named[name] = named.get(name, 0) + count
+        return named
+
+
+def instrument_engine(obs: Observability, engine) -> None:
+    """Attach dispatch counting and queue-depth gauges to an engine."""
+    if not obs.enabled:
+        return
+    observer = _EngineObserver()
+    engine.set_dispatch_hook(observer)
+
+    registry = obs.registry
+    processed = registry.counter("sim_engine_events_processed_total")
+    pending = registry.gauge("sim_engine_pending_events")
+    now_gauge = registry.gauge("sim_engine_time")
+    depth_gauge = registry.gauge("sim_engine_queue_depth")
+    depth_max_gauge = registry.gauge("sim_engine_queue_depth_max")
+
+    def collect() -> None:
+        for handler, count in observer.named_counts().items():
+            registry.counter("sim_engine_events_total", handler=handler).value = float(count)
+        depth_gauge.set(observer.depth)
+        depth_max_gauge.set(observer.max_depth)
+        processed.value = float(engine.events_processed)
+        pending.set(engine.pending())
+        now_gauge.set(engine.now)
+
+    registry.register_collector(collect)
+
+
+# -- links and faults -------------------------------------------------------------
+
+#: LinkStats field -> exported counter name.
+_LINK_COUNTERS = {
+    "offered": "sim_link_offered_total",
+    "queue_drops": "sim_link_queue_drops_total",
+    "serialized": "sim_link_serialized_total",
+    "loss_drops": "sim_link_loss_drops_total",
+    "delivered": "sim_link_delivered_total",
+    "corruptions": "sim_link_corruptions_total",
+    "bytes_offered": "sim_link_tx_bytes_total",
+    "bytes_delivered": "sim_link_rx_bytes_total",
+    "down_drops": "sim_link_down_drops_total",
+    "down_losses": "sim_link_down_losses_total",
+    "downs": "sim_link_downs_total",
+    "ups": "sim_link_ups_total",
+}
+
+
+def _link_collector(registry: MetricsRegistry, link, channel: int, direction: str):
+    labels = {"channel": str(channel), "direction": direction}
+    counters = {
+        field: registry.counter(name, **labels) for field, name in _LINK_COUNTERS.items()
+    }
+    up_gauge = registry.gauge("sim_link_up", **labels)
+    depth_gauge = registry.gauge("sim_link_queue_depth", **labels)
+
+    def collect() -> None:
+        stats = link.stats
+        for field, counter in counters.items():
+            counter.value = float(getattr(stats, field))
+        up_gauge.set(1.0 if link.up else 0.0)
+        depth_gauge.set(link.queue_depth)
+
+    return collect
+
+
+def instrument_network(obs: Observability, network) -> None:
+    """Wire a :class:`~repro.protocol.remicss.PointToPointNetwork`.
+
+    Binds the tracer clock to the network's engine, attaches the engine
+    dispatch hook, registers pull collectors for every link, and -- if a
+    fault injector is (or later becomes) armed -- exports its applied-event
+    counts and traces each applied fault.
+    """
+    if not obs.enabled:
+        return
+    obs.tracer.clock = lambda: network.engine.now
+    instrument_engine(obs, network.engine)
+    registry = obs.registry
+    for channel, duplex in enumerate(network.duplex):
+        registry.register_collector(
+            _link_collector(registry, duplex.forward, channel, "fwd")
+        )
+        registry.register_collector(
+            _link_collector(registry, duplex.reverse, channel, "rev")
+        )
+
+    if network.fault_injector is not None:
+        network.fault_injector.tracer = obs.tracer
+
+    def collect_faults() -> None:
+        injector = network.fault_injector
+        if injector is None:
+            return
+        summary = injector.summary()
+        for action, count in summary["by_action"].items():
+            registry.counter("sim_fault_events_total", action=action).value = float(count)
+        registry.gauge("sim_fault_plan_events").set(len(injector.plan))
+
+    registry.register_collector(collect_faults)
+
+
+# -- protocol nodes ---------------------------------------------------------------
+
+#: SenderStats field -> exported counter name (labelled by node).
+_SENDER_COUNTERS = {
+    "symbols_offered": "sim_sender_symbols_offered_total",
+    "symbols_sent": "sim_sender_symbols_sent_total",
+    "source_drops": "sim_sender_source_drops_total",
+    "shares_sent": "sim_sender_shares_total",
+    "share_send_failures": "sim_sender_share_send_failures_total",
+    "readiness_stalls": "sim_sender_readiness_stalls_total",
+}
+
+#: ReceiverStats field -> exported counter name (labelled by node).
+_RECEIVER_COUNTERS = {
+    "shares_received": "sim_receiver_shares_total",
+    "symbols_delivered": "sim_receiver_symbols_delivered_total",
+    "late_shares": "sim_receiver_late_shares_total",
+    "duplicate_shares": "sim_receiver_duplicate_shares_total",
+    "evicted_symbols": "sim_receiver_timeout_evictions_total",
+    "evicted_shares": "sim_receiver_evicted_shares_total",
+    "decode_errors": "sim_receiver_decode_errors_total",
+    "reconstruction_errors": "sim_receiver_reconstruction_errors_total",
+    "cpu_rejected_shares": "sim_receiver_cpu_rejected_total",
+    "corrupt_shares_detected": "sim_receiver_corrupt_shares_total",
+}
+
+
+def instrument_node(obs: Observability, node, role: Optional[str] = None) -> None:
+    """Wire one :class:`~repro.protocol.remicss.RemicssNode`.
+
+    Registers pull collectors for the sender and receiver counter blocks
+    (per-channel share counts, schedule picks, queue/backlog gauges) and
+    attaches the push-side reconstruct-latency histogram and trace hooks.
+    """
+    if not obs.enabled:
+        return
+    registry = obs.registry
+    name = role or node.name
+    sender, receiver = node.sender, node.receiver
+
+    sender_counters = {
+        field: registry.counter(metric, node=name)
+        for field, metric in _SENDER_COUNTERS.items()
+    }
+    backlog_gauge = registry.gauge("sim_sender_backlog", node=name)
+    receiver_counters = {
+        field: registry.counter(metric, node=name)
+        for field, metric in _RECEIVER_COUNTERS.items()
+    }
+    pending_gauge = registry.gauge("sim_receiver_pending", node=name)
+    pending_max_gauge = registry.gauge("sim_receiver_pending_max", node=name)
+
+    def collect() -> None:
+        sender_stats = sender.stats
+        for field, counter in sender_counters.items():
+            counter.value = float(getattr(sender_stats, field))
+        backlog_gauge.set(sender.backlog)
+        for channel, shares in enumerate(sender.shares_per_channel):
+            registry.counter(
+                "sim_sender_channel_shares_total", node=name, channel=str(channel)
+            ).value = float(shares)
+        for (k, m), picks in sorted(sender.schedule_picks.items()):
+            registry.counter(
+                "sim_sender_schedule_picks_total", node=name, k=str(k), m=str(m)
+            ).value = float(picks)
+        receiver_stats = receiver.stats
+        for field, counter in receiver_counters.items():
+            counter.value = float(getattr(receiver_stats, field))
+        pending_gauge.set(receiver.pending)
+        pending_max_gauge.set(receiver.max_pending)
+
+    registry.register_collector(collect)
+
+    # Push side: reconstruct latency lands straight in a histogram, and the
+    # sender's transmit path emits share_tx spans when tracing is on.
+    receiver.latency_histogram = registry.histogram(
+        "sim_receiver_reconstruct_latency", buckets=DEFAULT_LATENCY_BUCKETS, node=name
+    )
+    receiver.occupancy_histogram = registry.histogram(
+        "sim_receiver_occupancy", buckets=DEFAULT_DEPTH_BUCKETS, node=name
+    )
+    if obs.tracer.enabled:
+        sender.tracer = obs.tracer
+        receiver.tracer = obs.tracer

@@ -21,7 +21,8 @@ alert bit per channel.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
 from typing import Callable, List, Optional, Sequence
 
 from repro.adversary.riskassess import HmmRiskEstimator

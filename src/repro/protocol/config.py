@@ -8,7 +8,6 @@ print it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.sharing.base import SecretSharingScheme
 from repro.sharing.shamir import ShamirScheme

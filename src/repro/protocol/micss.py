@@ -24,7 +24,6 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
 
 from repro.netsim.engine import Engine, Event
 from repro.netsim.packet import Datagram

@@ -17,7 +17,8 @@ arriving after that are counted as *late* and dropped.
 from __future__ import annotations
 
 from collections import OrderedDict, deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
 from typing import Callable, Deque, Dict, Optional, Set
 
 from repro.netsim.engine import Engine, Event
@@ -118,6 +119,15 @@ class ReassemblyBuffer:
         self.byzantine_tolerance = byzantine_tolerance
         self.stats = ReceiverStats()
         self.corrupt_by_channel: Dict[int, int] = {}
+        #: Most incomplete symbols ever held at once (buffer high-water mark).
+        self.max_pending = 0
+        #: Optional instruments attached by :mod:`repro.obs.instrument`:
+        #: source-to-reconstruction latency and buffer-occupancy histograms
+        #: (sim-time; None when observability is off) and a structured
+        #: tracer fed one event per timeout eviction.
+        self.latency_histogram = None
+        self.occupancy_histogram = None
+        self.tracer = None
         self._table: "OrderedDict[int, _Entry]" = OrderedDict()
         self._completed: Set[int] = set()
         self._completed_order: Deque[int] = deque()
@@ -188,6 +198,11 @@ class ReassemblyBuffer:
         entry = _Entry(seq, k, m, first_at=self.engine.now, sent_at=sent_at)
         entry.evict_event = self.engine.schedule(self.timeout, self._evict, seq)
         self._table[seq] = entry
+        occupancy = len(self._table)
+        if occupancy > self.max_pending:
+            self.max_pending = occupancy
+        if self.occupancy_histogram is not None:
+            self.occupancy_histogram.observe(occupancy)
         return entry
 
     # -- completion and eviction -------------------------------------------------
@@ -224,6 +239,8 @@ class ReassemblyBuffer:
                     return
             self.stats.symbols_delivered += 1
             delay = self.engine.now - entry.sent_at if entry.sent_at >= 0 else 0.0
+            if self.latency_histogram is not None:
+                self.latency_histogram.observe(delay)
             self.on_deliver(entry.seq, payload, delay)
 
         if self.cpu is None or self.cpu.capacity is None:
@@ -244,6 +261,10 @@ class ReassemblyBuffer:
     def _evict(self, seq: int) -> None:
         entry = self._table.pop(seq, None)
         if entry is not None:
+            if self.tracer is not None:
+                self.tracer.event(
+                    "reassembly_evict", seq=seq, shares=len(entry.shares), k=entry.k
+                )
             self._drop_entry(entry, cancel_timer=False)
 
     def _drop_entry(self, entry: _Entry, cancel_timer: bool = True) -> None:

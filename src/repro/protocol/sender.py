@@ -44,6 +44,9 @@ class SenderStats:
     source_drops: int = 0
     shares_sent: int = 0
     share_send_failures: int = 0
+    #: Times the head symbol found fewer ready channels than it needed and
+    #: had to wait for a writable notification (scheduler back-pressure).
+    readiness_stalls: int = 0
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
@@ -93,6 +96,11 @@ class ShareSender:
         self.selector = WriteSelector(self.ports, config.selector_ordering)
         self.stats = SenderStats()
         self.shares_per_channel = [0] * len(self.ports)
+        #: (k, m) -> times the sampler picked that pair (schedule mix audit).
+        self.schedule_picks: "dict[tuple[int, int], int]" = {}
+        #: Structured tracer attached by :mod:`repro.obs.instrument`; when
+        #: set, every transmitted symbol emits a ``share_tx`` span.
+        self.tracer = None
         self._source: Deque[_PendingSymbol] = deque()
         self._next_seq = 0
         self._cpu_busy = False
@@ -141,8 +149,11 @@ class ShareSender:
             symbol = self._source[0]
             if symbol.k is None:
                 symbol.k, symbol.m, symbol.subset = self.sampler.sample()
+                pair = (symbol.k, symbol.m)
+                self.schedule_picks[pair] = self.schedule_picks.get(pair, 0) + 1
             chosen = self._choose_ports(symbol)
             if chosen is None:
+                self.stats.readiness_stalls += 1
                 return  # blocked; a writable notification will re-pump
             if self.cpu is None or self.cpu.capacity is None:
                 self._source.popleft()
@@ -175,6 +186,14 @@ class ShareSender:
         return None
 
     def _transmit(self, symbol: _PendingSymbol, chosen: List[ChannelPort]) -> None:
+        if self.tracer is not None:
+            self.tracer.event(
+                "share_tx",
+                seq=symbol.seq,
+                k=symbol.k,
+                m=symbol.m,
+                channels=[port.index for port in chosen],
+            )
         size = self.config.symbol_size + HEADER_SIZE
         meta_base = {"seq": symbol.seq, "k": symbol.k, "m": symbol.m}
         if self.config.share_synthetic:

@@ -26,7 +26,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations
-from typing import FrozenSet, List, Sequence, Tuple
+from typing import FrozenSet, Sequence
+
+
 
 import numpy as np
 

@@ -21,6 +21,7 @@ from repro.netsim.faults import FaultPlan
 from repro.netsim.host import CpuModel
 from repro.netsim.rng import RngRegistry
 from repro.netsim.trace import DelayStats, RateMeter
+from repro.obs.instrument import Observability, instrument_network, instrument_node
 from repro.protocol.config import ProtocolConfig
 from repro.protocol.remicss import PointToPointNetwork
 from repro.workloads.setups import delay_to_ms, rate_to_mbps
@@ -100,6 +101,7 @@ def run_iperf(
     cpu_queue_limit: int = 64,
     queue_limit: int = 16,
     fault_plan: Optional[FaultPlan] = None,
+    obs: Optional[Observability] = None,
 ) -> IperfResult:
     """Run one iperf-style measurement and return its results.
 
@@ -120,6 +122,10 @@ def run_iperf(
         queue_limit: per-link queue capacity in packets.
         fault_plan: optional deterministic fault timeline (see
             :mod:`repro.netsim.faults`) armed against the run's channels.
+        obs: optional :class:`~repro.obs.instrument.Observability` bundle;
+            when given, the network, fault injector and both protocol
+            nodes are instrumented and the caller snapshots
+            ``obs.registry`` after the run (see docs/OBSERVABILITY.md).
     """
     if offered_rate <= 0:
         raise ValueError(f"offered_rate must be positive, got {offered_rate}")
@@ -144,6 +150,10 @@ def run_iperf(
         sender_cpu=sender_cpu,
         receiver_cpu=receiver_cpu,
     )
+    if obs is not None:
+        instrument_network(obs, network)
+        instrument_node(obs, node_a)
+        instrument_node(obs, node_b)
 
     meter = RateMeter()
     delays = DelayStats()

@@ -20,7 +20,8 @@ statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, Tuple
+
 
 import numpy as np
 

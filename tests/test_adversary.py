@@ -1,6 +1,5 @@
 """Adversary: eavesdropping, ground-truth reconstruction, Monte-Carlo checks."""
 
-import numpy as np
 import pytest
 
 from repro.adversary.eavesdropper import Eavesdropper

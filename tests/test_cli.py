@@ -163,6 +163,44 @@ class TestSimulateCommand:
         summary = json.loads(out.split("faults applied = ")[1].splitlines()[0])
         assert summary["by_action"] == {"link_down": 1, "link_up": 1}
 
+    def test_metrics_out_writes_dump(self, channels_file, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.jsonl"
+        trace_path = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "simulate", "--channels", channels_file,
+                "--kappa", "1", "--mu", "1",
+                "--duration", "5", "--warmup", "1",
+                "--faults", "flap",
+                "--metrics-out", str(metrics_path),
+                "--trace-out", str(trace_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "metrics" in out and "trace" in out
+        samples = [json.loads(line) for line in metrics_path.read_text().splitlines()]
+        names = {s["name"] for s in samples}
+        assert "sim_link_delivered_total" in names
+        assert "sim_sender_symbols_sent_total" in names
+        assert "sim_fault_events_total" in names
+        traces = [json.loads(line) for line in trace_path.read_text().splitlines()]
+        assert any(t["name"] == "fault_applied" for t in traces)
+
+    def test_metrics_out_prometheus_format(self, channels_file, tmp_path):
+        metrics_path = tmp_path / "metrics.prom"
+        code = main(
+            [
+                "simulate", "--channels", channels_file,
+                "--kappa", "1", "--mu", "1",
+                "--duration", "5", "--warmup", "1",
+                "--metrics-out", str(metrics_path),
+            ]
+        )
+        assert code == 0
+        text = metrics_path.read_text()
+        assert "# TYPE sim_link_delivered_total counter" in text
+
     def test_faults_unknown_spec_errors(self, channels_file, capsys):
         code = main(
             [

@@ -1,11 +1,9 @@
 """Requirement-driven planning: inverse queries over the model."""
 
-import numpy as np
 import pytest
 
 from repro.core.planner import (
     NoFeasiblePlanError,
-    Plan,
     Requirements,
     constrained_schedule,
     plan_max_rate,

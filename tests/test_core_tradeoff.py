@@ -1,6 +1,5 @@
 """Tradeoff sweeps over the (κ, µ) plane."""
 
-import math
 
 import numpy as np
 import pytest

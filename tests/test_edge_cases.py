@@ -1,6 +1,5 @@
 """Edge-case and failure-injection tests across modules."""
 
-import numpy as np
 import pytest
 
 from repro.core.channel import ChannelSet
@@ -91,7 +90,6 @@ class TestDibsResync:
     def test_gap_triggers_resync_and_recovery(self):
         """A hole in the symbol stream flushes state but later data flows."""
         from repro.protocol.dibs import DibsInterceptor
-        from repro.protocol.remicss import RemicssNode
 
         channels = ChannelSet.from_vectors(
             risks=[0.0], losses=[0.0], delays=[0.01], rates=[1000.0]

@@ -7,7 +7,8 @@ reproduction's acceptance criteria -- using grids small enough for CI.
 import numpy as np
 import pytest
 
-from repro.experiments.fig2 import FIG2_RATES, run_fig2
+from repro.experiments.fig2 import run_fig2
+
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.fig4 import run_fig4
 from repro.experiments.fig5 import run_fig5

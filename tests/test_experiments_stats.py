@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.experiments.stats import ReplicatedValue, replicate, seeds_for, summarize
+from repro.experiments.stats import replicate, seeds_for, summarize
+
 
 
 class TestSummarize:

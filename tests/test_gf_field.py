@@ -1,11 +1,13 @@
 """Field axioms and arithmetic for GF(2^8) and prime fields."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
+
 from hypothesis import strategies as st
 
 from repro.gf.field import Field
-from repro.gf.gf256 import GF256, GF256_FIELD, _carryless_mul
+from repro.gf.gf256 import GF256_FIELD, _carryless_mul
+
 from repro.gf.gfp import PrimeField, is_prime, next_prime
 
 gf256_elems = st.integers(min_value=0, max_value=255)

@@ -125,6 +125,21 @@ class TestRateMeter:
         with pytest.raises(RuntimeError):
             RateMeter().rate()
 
+    def test_zero_length_window_is_zero_rate(self):
+        meter = RateMeter()
+        meter.start(2.0)
+        meter.record(2.0, size=100)
+        meter.stop(2.0)
+        assert meter.rate() == 0.0
+        assert meter.byte_rate() == 0.0
+
+    def test_zero_length_empty_window(self):
+        meter = RateMeter()
+        meter.start(0.0)
+        meter.stop(0.0)
+        assert meter.rate() == 0.0
+        assert meter.byte_rate() == 0.0
+
 
 class TestDelayStats:
     def test_moments(self):

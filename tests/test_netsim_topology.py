@@ -1,7 +1,6 @@
 """Multi-hop topology: routed paths, shared edges, edge-tap adversary."""
 
 import networkx as nx
-import numpy as np
 import pytest
 
 from repro.core.overlap import joint_subset_risk

@@ -1,0 +1,141 @@
+"""Exporter round-trips (snapshot -> text -> parse -> equal values) and
+seeded-determinism of full metric dumps."""
+
+import math
+
+import pytest
+
+from repro.obs.export import (
+    format_for_path,
+    histogram_quantile,
+    metrics_from_csv,
+    metrics_from_jsonl,
+    metrics_to_csv,
+    metrics_to_jsonl,
+    metrics_to_prometheus,
+    trace_to_jsonl,
+    write_metrics,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+
+def sample_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("sim_link_offered_total", channel="0", direction="fwd").inc(17)
+    registry.counter("sim_link_offered_total", channel="1", direction="fwd").inc(3)
+    registry.gauge("sim_engine_queue_depth").set(4.5)
+    hist = registry.histogram("sim_receiver_reconstruct_latency", buckets=(0.5, 1.0, 5.0), node="nodeB")
+    for value in (0.2, 0.7, 0.7, 3.0, 9.0):
+        hist.observe(value)
+    return registry
+
+
+class TestJsonlRoundTrip:
+    def test_values_survive(self):
+        snapshot = sample_registry().snapshot()
+        parsed = metrics_from_jsonl(metrics_to_jsonl(snapshot))
+        assert parsed == snapshot
+
+    def test_empty_snapshot(self):
+        assert metrics_to_jsonl([]) == ""
+        assert metrics_from_jsonl("") == []
+
+
+class TestCsvRoundTrip:
+    def test_values_survive(self):
+        snapshot = sample_registry().snapshot()
+        parsed = metrics_from_csv(metrics_to_csv(snapshot))
+        assert len(parsed) == len(snapshot)
+        for original, back in zip(snapshot, parsed):
+            assert back["name"] == original["name"]
+            assert back["type"] == original["type"]
+            assert back["labels"] == original["labels"]
+            if original["type"] == "histogram":
+                assert back["count"] == original["count"]
+                assert back["sum"] == pytest.approx(original["sum"])
+                assert back["min"] == original["min"]
+                assert back["max"] == original["max"]
+                assert [
+                    [le, count] for le, count in original["buckets"]
+                ] == back["buckets"]
+            else:
+                assert back["value"] == original["value"]
+
+    def test_rejects_foreign_header(self):
+        with pytest.raises(ValueError):
+            metrics_from_csv("a,b\n1,2\n")
+
+
+class TestPrometheus:
+    def test_exposition_shape(self):
+        text = metrics_to_prometheus(sample_registry().snapshot())
+        assert '# TYPE sim_link_offered_total counter' in text
+        assert 'sim_link_offered_total{channel="0",direction="fwd"} 17' in text
+        assert '# TYPE sim_receiver_reconstruct_latency histogram' in text
+        assert 'sim_receiver_reconstruct_latency_bucket{node="nodeB",le="+Inf"} 5' in text
+        assert 'sim_receiver_reconstruct_latency_count{node="nodeB"} 5' in text
+        # One TYPE line per metric name even across label sets.
+        assert text.count("# TYPE sim_link_offered_total") == 1
+
+    def test_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("sim_x_total", handler='say "hi"\\now').inc()
+        text = metrics_to_prometheus(registry.snapshot())
+        assert 'handler="say \\"hi\\"\\\\now"' in text
+
+
+class TestWriteMetrics:
+    def test_suffix_dispatch(self, tmp_path):
+        snapshot = sample_registry().snapshot()
+        assert write_metrics(str(tmp_path / "m.jsonl"), snapshot) == "jsonl"
+        assert write_metrics(str(tmp_path / "m.csv"), snapshot) == "csv"
+        assert write_metrics(str(tmp_path / "m.prom"), snapshot) == "prometheus"
+        assert write_metrics(str(tmp_path / "m.unknown"), snapshot) == "jsonl"
+        assert write_metrics(str(tmp_path / "m.dat"), snapshot, fmt="csv") == "csv"
+        parsed = metrics_from_csv((tmp_path / "m.csv").read_text())
+        assert len(parsed) == len(snapshot)
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            format_for_path("x.jsonl", fmt="xml")
+
+
+class TestTraceExport:
+    def test_jsonl_lines(self):
+        clock = {"now": 0.0}
+        tracer = Tracer(lambda: clock["now"])
+        tracer.event("fault_applied", action="link_down", channel=2)
+        clock["now"] = 1.5
+        with tracer.span("share_tx", seq=9):
+            pass
+        text = trace_to_jsonl(tracer.events)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert '"name": "fault_applied"' in lines[0]
+        assert '"duration": 0.0' in lines[1]
+
+    def test_empty(self):
+        assert trace_to_jsonl([]) == ""
+
+
+class TestHistogramQuantile:
+    def test_interpolates(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("sim_lat", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.5, 3.0):
+            hist.observe(value)
+        sample = hist.as_sample()
+        assert histogram_quantile(sample, 0.5) == pytest.approx(1.5, abs=0.5)
+        assert histogram_quantile(sample, 1.0) == pytest.approx(4.0)
+
+    def test_empty_is_nan(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("sim_lat", buckets=(1.0,))
+        assert math.isnan(histogram_quantile(hist.as_sample(), 0.5))
+
+    def test_bad_quantile(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("sim_lat2", buckets=(1.0,))
+        with pytest.raises(ValueError):
+            histogram_quantile(hist.as_sample(), 1.5)

@@ -1,7 +1,6 @@
 """Cross-cutting property tests: LP optimality dominance, model coherence,
 and randomized end-to-end protocol integrity."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -13,7 +12,6 @@ from repro.core.program import (
     theorem5_schedule,
 )
 from repro.core.rate import optimal_rate
-from repro.core.schedule import ShareSchedule
 
 channel_sets = st.integers(min_value=2, max_value=5).flatmap(
     lambda n: st.tuples(

@@ -1,6 +1,5 @@
 """The adaptive controller: monitoring -> plan -> sampler swap."""
 
-import numpy as np
 import pytest
 
 from repro.adversary.riskassess import HmmRiskEstimator, HmmRiskModel

@@ -1,7 +1,5 @@
 """The MICSS baseline and the DIBS interception shim."""
 
-import numpy as np
-import pytest
 
 from repro.core.channel import ChannelSet
 from repro.netsim.rng import RngRegistry

@@ -22,6 +22,33 @@ class TestFormatTable:
         assert "label" in table
         assert "(1, 2)" in table
 
+    def test_empty_row_list_renders_header_only(self):
+        table = format_table(["a", "bb"], [])
+        lines = table.splitlines()
+        assert len(lines) == 2
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_short_rows_padded(self):
+        table = format_table(["a", "b", "c"], [[1], [2, 3]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        # Every line is the same width despite the ragged input.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_long_rows_widen_table(self):
+        table = format_table(["a"], [[1, 2, 3]])
+        assert "2" in table and "3" in table
+        lines = table.splitlines()
+        assert len({len(line) for line in lines}) == 1
+
+    def test_empty_everything_is_empty_string(self):
+        assert format_table([], []) == ""
+
+    def test_rows_with_empty_headers(self):
+        table = format_table([], [[1, 2]])
+        assert "1" in table and "2" in table
+
 
 class TestRowsToTable:
     def test_column_selection_and_order(self):
