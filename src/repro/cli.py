@@ -182,6 +182,80 @@ def load_fault_plan(spec: Optional[str], duration: float, warmup: float):
     )
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run one figure's parameter sweep through the sweep orchestrator.
+
+    ``--jobs N`` fans points out over N worker processes with results
+    identical to a serial run (per-point seeds derive from point identity,
+    not worker order); ``--resume`` serves already-computed points from
+    the content-addressed cache under ``--cache-dir``.  See docs/SWEEPS.md.
+    """
+    from repro.experiments import fig3, fig4, fig5, fig67
+    from repro.experiments.reporting import rows_to_table
+    from repro.obs import Observability
+    from repro.sweep import ResultCache, SweepRunner
+
+    spec_kwargs = {}
+    if args.kappa:
+        spec_kwargs["kappas"] = tuple(args.kappa)
+    if args.mu_step is not None:
+        spec_kwargs["mu_step"] = args.mu_step
+    if args.duration is not None:
+        spec_kwargs["duration"] = args.duration
+    if args.warmup is not None:
+        spec_kwargs["warmup"] = args.warmup
+    if args.seed is not None:
+        spec_kwargs["seed"] = args.seed
+    spec_kwargs["quick"] = args.quick
+
+    if args.figure == "fig3":
+        spec = fig3.fig3_spec(setup=args.setup, **spec_kwargs)
+        point_fn = fig3.fig3_point
+    elif args.figure == "fig4":
+        spec = fig4.fig4_spec(**spec_kwargs)
+        point_fn = fig4.fig4_point
+    elif args.figure == "fig5":
+        spec = fig5.fig5_spec(**spec_kwargs)
+        point_fn = fig5.fig5_point
+    elif args.figure in ("fig6", "fig7"):
+        spec_kwargs.pop("mu_step", None)
+        if args.figure == "fig6":
+            spec_kwargs.pop("kappas", None)
+            spec = fig67.fig6_spec(**spec_kwargs)
+        else:
+            spec = fig67.fig7_spec(**spec_kwargs)
+        point_fn = fig67.fig67_point
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(f"unknown figure {args.figure!r}")
+
+    cache = None
+    if args.resume or args.cache_dir is not None:
+        cache = ResultCache(args.cache_dir or "results/cache")
+    obs = Observability.create()
+    runner = SweepRunner(jobs=args.jobs, retries=args.retries, cache=cache, obs=obs)
+    results = runner.run(spec, point_fn)
+
+    rows = [r.value for r in results if r.ok and r.value is not None]
+    if rows:
+        # Sorted columns so cold runs and cache-served re-runs print the
+        # same table (cached rows round-trip through sorted-key JSON).
+        print(rows_to_table(rows, sorted(rows[0].keys()), precision=4))
+    for result in results:
+        if not result.ok:
+            print(
+                f"point {result.point.index} {result.point.params} failed "
+                f"after {result.attempts} attempts:\n{result.error}",
+                file=sys.stderr,
+            )
+    print(runner.stats.summary())
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(rows, handle, sort_keys=True, indent=1)
+            handle.write("\n")
+        print(f"rows           = {len(rows)} -> {args.out}")
+    return 1 if runner.stats.failures else 0
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     from repro.obs import Observability, write_metrics, write_trace
     from repro.protocol.config import ProtocolConfig
@@ -306,6 +380,61 @@ def build_parser() -> argparse.ArgumentParser:
         "path as JSON-lines",
     )
     simulate.set_defaults(func=cmd_simulate)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a figure sweep in parallel with a resumable result cache",
+        description="Run one figure's (κ, µ)/capacity sweep through the "
+        "sweep orchestrator (repro.sweep).  --jobs N computes points on N "
+        "worker processes with results identical to --jobs 1; --resume "
+        "serves finished points from the content-addressed cache so an "
+        "interrupted sweep completes incrementally.  See docs/SWEEPS.md.",
+    )
+    sweep.add_argument(
+        "--figure",
+        required=True,
+        choices=["fig3", "fig4", "fig5", "fig6", "fig7"],
+        help="which figure's sweep to run",
+    )
+    sweep.add_argument(
+        "--setup",
+        choices=["identical", "diverse"],
+        default="identical",
+        help="channel setup (fig3 only)",
+    )
+    sweep.add_argument(
+        "--kappa",
+        action="append",
+        type=float,
+        metavar="K",
+        help="κ value to sweep (repeatable; default: the figure's grid)",
+    )
+    sweep.add_argument("--mu-step", type=float, help="µ grid step")
+    sweep.add_argument("--duration", type=float, help="measurement window per point")
+    sweep.add_argument("--warmup", type=float, help="settling time per point")
+    sweep.add_argument("--seed", type=int, help="root seed (per-point seeds derive from it)")
+    sweep.add_argument("--quick", action="store_true", help="coarse grid and short windows")
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (default 1 = serial; N>1 gives identical results, faster)",
+    )
+    sweep.add_argument(
+        "--retries", type=int, default=0, help="extra attempts per failing point"
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse and extend the on-disk result cache (resume after interrupt)",
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        help="cache location (default results/cache; implies caching when given)",
+    )
+    sweep.add_argument("--out", help="also write the result rows to this JSON file")
+    sweep.set_defaults(func=cmd_sweep)
 
     return parser
 

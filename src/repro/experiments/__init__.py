@@ -17,6 +17,12 @@ One module per evaluation figure:
 Each driver returns plain row dictionaries and has a ``quick`` mode with a
 coarser sweep used by the benchmark suite; ``python -m repro.experiments.runner``
 runs everything and prints the paper-matching series.
+
+Every grid is declared as a :class:`~repro.sweep.SweepSpec` (one
+``figN_spec`` builder plus a picklable ``figN_point`` function per
+module) and executed by :class:`~repro.sweep.SweepRunner`, so each driver
+accepts ``jobs`` (process-pool fan-out with rows identical to serial) and
+``cache`` (content-addressed resume) -- see ``docs/SWEEPS.md``.
 """
 
 from repro.experiments.fig2 import run_fig2

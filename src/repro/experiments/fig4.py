@@ -12,19 +12,86 @@ maximum rate, so queueing dominates -- except where a κ has underutilised
 channels to spare ("each delay curve is well-behaved beyond a certain
 point... exactly the bumps in the rate curve").  The reproduction exhibits
 the same regime change.
+
+Like Figure 3, the grid is a :class:`~repro.sweep.SweepSpec`; each point
+(including its LP solve) runs through :class:`~repro.sweep.SweepRunner`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.program import Objective, optimal_property_value
 from repro.core.rate import optimal_rate
 from repro.core.tradeoff import mu_grid
 from repro.lp import InfeasibleError
 from repro.protocol.config import ProtocolConfig
+from repro.sweep import ResultCache, SweepRunner, SweepSpec, values
 from repro.workloads.echo import run_echo
 from repro.workloads.setups import delay_to_ms, delayed_setup
+
+
+def fig4_spec(
+    kappas: Sequence[float] = (1.0, 2.0, 3.0, 4.0, 5.0),
+    mu_step: float = 0.2,
+    duration: float = 30.0,
+    warmup: float = 5.0,
+    seed: int = 3,
+    quick: bool = False,
+    offered_fraction: float = 1.0,
+) -> SweepSpec:
+    """The Figure 4 sweep as a declarative spec."""
+    if quick:
+        mu_step = max(mu_step, 0.5)
+        duration = min(duration, 8.0)
+        warmup = min(warmup, 2.0)
+    channels = delayed_setup()
+    return SweepSpec(
+        spec_id="fig4",
+        base={
+            "duration": duration,
+            "warmup": warmup,
+            "seed": seed,
+            "offered_fraction": offered_fraction,
+        },
+        grid=[
+            {"kappa": kappa, "mu": mu}
+            for kappa in kappas
+            for mu in mu_grid(kappa, channels.n, mu_step)
+        ],
+    )
+
+
+def fig4_point(params: Dict[str, float], seed: int) -> Optional[Dict[str, float]]:
+    """Measure one (κ, µ) delay point; None when the LP is infeasible."""
+    channels = delayed_setup()
+    kappa, mu = params["kappa"], params["mu"]
+    try:
+        optimal_delay = optimal_property_value(
+            channels, Objective.DELAY, kappa, mu, at_max_rate=True
+        )
+    except InfeasibleError:  # pragma: no cover - grid is feasible
+        return None
+    config = ProtocolConfig(
+        kappa=kappa,
+        mu=mu,
+        reassembly_timeout=20.0,
+    )
+    result = run_echo(
+        channels,
+        config,
+        offered_rate=params["offered_fraction"] * optimal_rate(channels, mu),
+        duration=params["duration"],
+        warmup=params["warmup"],
+        seed=seed,
+    )
+    return {
+        "kappa": kappa,
+        "mu": mu,
+        "optimal_delay_ms": delay_to_ms(optimal_delay),
+        "actual_delay_ms": result.mean_delay_ms,
+        "echoes": result.echoes,
+    }
 
 
 def run_fig4(
@@ -35,6 +102,8 @@ def run_fig4(
     seed: int = 3,
     quick: bool = False,
     offered_fraction: float = 1.0,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> List[Dict[str, float]]:
     """Measure mean one-way delay at maximum rate across the (κ, µ) grid.
 
@@ -42,54 +111,22 @@ def run_fig4(
         offered_fraction: fraction of the optimal rate to offer (1.0 is
             the paper's "at maximum rate"; lower values are useful in the
             ablation that separates queueing from channel delay).
+        jobs: worker processes (1 = serial; >1 identical rows, parallel).
+        cache: optional result cache for resume/incremental re-runs.
 
     Returns:
         Rows with κ, µ, the LP-optimal delay (ms) and the measured mean
         one-way delay (ms).
     """
-    if quick:
-        mu_step = max(mu_step, 0.5)
-        duration = min(duration, 8.0)
-        warmup = min(warmup, 2.0)
-    channels = delayed_setup()
-    rows = []
-    for kappa in kappas:
-        for mu in mu_grid(kappa, channels.n, mu_step):
-            try:
-                optimal_delay = optimal_property_value(
-                    channels, Objective.DELAY, kappa, mu, at_max_rate=True
-                )
-            except InfeasibleError:  # pragma: no cover - grid is feasible
-                continue
-            config = ProtocolConfig(
-                kappa=kappa,
-                mu=mu,
-                reassembly_timeout=20.0,
-            )
-            result = run_echo(
-                channels,
-                config,
-                offered_rate=offered_fraction * optimal_rate(channels, mu),
-                duration=duration,
-                warmup=warmup,
-                seed=seed + int(kappa * 1000) + int(mu * 10),
-            )
-            rows.append(
-                {
-                    "kappa": kappa,
-                    "mu": mu,
-                    "optimal_delay_ms": delay_to_ms(optimal_delay),
-                    "actual_delay_ms": result.mean_delay_ms,
-                    "echoes": result.echoes,
-                }
-            )
-    return rows
+    spec = fig4_spec(kappas, mu_step, duration, warmup, seed, quick, offered_fraction)
+    runner = SweepRunner(jobs=jobs, cache=cache)
+    return [row for row in values(runner.run(spec, fig4_point)) if row is not None]
 
 
-def main(quick: bool = False) -> None:  # pragma: no cover - exercised via runner
+def main(quick: bool = False, jobs: int = 1, cache: Optional[ResultCache] = None) -> None:  # pragma: no cover - exercised via runner
     from repro.experiments.reporting import rows_to_table
 
-    rows = run_fig4(quick=quick)
+    rows = run_fig4(quick=quick, jobs=jobs, cache=cache)
     print("\nFigure 4: delay at maximum rate (Delayed setup)")
     print(
         rows_to_table(

@@ -11,18 +11,91 @@ parameters, with implementation-specific spikes (e.g. κ=3, µ=3.8) caused
 by the dynamic channel-selection heuristic interacting badly with the
 specific channel proportions; the "fixed" selector ordering reproduces
 that pathology more strongly (see the ablation benchmark).
+
+Like Figure 3, the grid is a :class:`~repro.sweep.SweepSpec` executed by
+:class:`~repro.sweep.SweepRunner`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.program import Objective, optimal_property_value
 from repro.core.tradeoff import mu_grid
 from repro.lp import InfeasibleError
 from repro.protocol.config import ProtocolConfig
+from repro.sweep import ResultCache, SweepRunner, SweepSpec, values
 from repro.workloads.iperf import practical_max_rate, run_iperf
 from repro.workloads.setups import lossy_setup
+
+
+def fig5_spec(
+    kappas: Sequence[float] = (1.0, 2.0, 3.0, 4.0, 5.0),
+    mu_step: float = 0.1,
+    duration: float = 30.0,
+    warmup: float = 5.0,
+    seed: int = 2,
+    quick: bool = False,
+    selector_ordering: str = "headroom",
+) -> SweepSpec:
+    """The Figure 5 sweep as a declarative spec."""
+    if quick:
+        mu_step = max(mu_step, 0.5)
+        duration = min(duration, 10.0)
+        warmup = min(warmup, 2.0)
+    channels = lossy_setup()
+    return SweepSpec(
+        spec_id="fig5",
+        base={
+            "duration": duration,
+            "warmup": warmup,
+            "seed": seed,
+            "selector_ordering": selector_ordering,
+        },
+        grid=[
+            {"kappa": kappa, "mu": mu}
+            for kappa in kappas
+            for mu in mu_grid(kappa, channels.n, mu_step)
+        ],
+    )
+
+
+def fig5_point(params: Dict[str, float], seed: int) -> Optional[Dict[str, float]]:
+    """Measure one (κ, µ) loss point; None when the LP is infeasible."""
+    channels = lossy_setup()
+    kappa, mu = params["kappa"], params["mu"]
+    try:
+        optimal_loss = optimal_property_value(
+            channels, Objective.LOSS, kappa, mu, at_max_rate=True
+        )
+    except InfeasibleError:  # pragma: no cover - grid is feasible
+        return None
+    config = ProtocolConfig(
+        kappa=kappa,
+        mu=mu,
+        share_synthetic=True,
+        selector_ordering=params["selector_ordering"],
+        # Loss runs complete symbols out of order; keep eviction
+        # generous so slow shares are not miscounted as loss.
+        reassembly_timeout=10.0,
+    )
+    result = run_iperf(
+        channels,
+        config,
+        # The paper offers at the rate *measured* in experiment 1,
+        # i.e. the protocol's achievable (header-adjusted) rate.
+        offered_rate=practical_max_rate(channels, mu, config.symbol_size),
+        duration=params["duration"],
+        warmup=params["warmup"],
+        seed=seed,
+    )
+    return {
+        "kappa": kappa,
+        "mu": mu,
+        "optimal_loss_pct": 100.0 * optimal_loss,
+        "actual_loss_pct": result.loss_percent,
+        "achieved_rate": result.achieved_rate,
+    }
 
 
 def run_fig5(
@@ -33,6 +106,8 @@ def run_fig5(
     seed: int = 2,
     quick: bool = False,
     selector_ordering: str = "headroom",
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> List[Dict[str, float]]:
     """Measure loss at maximum rate across the (κ, µ) grid.
 
@@ -40,55 +115,15 @@ def run_fig5(
         Rows with κ, µ, the LP-optimal loss percentage and the measured
         loss percentage (receiver-side, excluding sender source drops).
     """
-    if quick:
-        mu_step = max(mu_step, 0.5)
-        duration = min(duration, 10.0)
-        warmup = min(warmup, 2.0)
-    channels = lossy_setup()
-    rows = []
-    for kappa in kappas:
-        for mu in mu_grid(kappa, channels.n, mu_step):
-            try:
-                optimal_loss = optimal_property_value(
-                    channels, Objective.LOSS, kappa, mu, at_max_rate=True
-                )
-            except InfeasibleError:  # pragma: no cover - grid is feasible
-                continue
-            config = ProtocolConfig(
-                kappa=kappa,
-                mu=mu,
-                share_synthetic=True,
-                selector_ordering=selector_ordering,
-                # Loss runs complete symbols out of order; keep eviction
-                # generous so slow shares are not miscounted as loss.
-                reassembly_timeout=10.0,
-            )
-            result = run_iperf(
-                channels,
-                config,
-                # The paper offers at the rate *measured* in experiment 1,
-                # i.e. the protocol's achievable (header-adjusted) rate.
-                offered_rate=practical_max_rate(channels, mu, config.symbol_size),
-                duration=duration,
-                warmup=warmup,
-                seed=seed + int(kappa * 1000) + int(mu * 10),
-            )
-            rows.append(
-                {
-                    "kappa": kappa,
-                    "mu": mu,
-                    "optimal_loss_pct": 100.0 * optimal_loss,
-                    "actual_loss_pct": result.loss_percent,
-                    "achieved_rate": result.achieved_rate,
-                }
-            )
-    return rows
+    spec = fig5_spec(kappas, mu_step, duration, warmup, seed, quick, selector_ordering)
+    runner = SweepRunner(jobs=jobs, cache=cache)
+    return [row for row in values(runner.run(spec, fig5_point)) if row is not None]
 
 
-def main(quick: bool = False) -> None:  # pragma: no cover - exercised via runner
+def main(quick: bool = False, jobs: int = 1, cache: Optional[ResultCache] = None) -> None:  # pragma: no cover - exercised via runner
     from repro.experiments.reporting import rows_to_table
 
-    rows = run_fig5(quick=quick)
+    rows = run_fig5(quick=quick, jobs=jobs, cache=cache)
     print("\nFigure 5: loss at maximum rate (Lossy setup)")
     print(
         rows_to_table(

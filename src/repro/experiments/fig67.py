@@ -17,16 +17,21 @@ reconstruct`` units against a fixed capacity.  The capacity constant below
 is calibrated so the κ = µ = 1 level-off lands at the paper's ~750 Mbps;
 everything else (where each κ curve departs, their ordering) then follows
 from the model rather than from further tuning.
+
+Both figures' capacity sweeps are :class:`~repro.sweep.SweepSpec` grids
+executed by :class:`~repro.sweep.SweepRunner` (these are the most
+CPU-bound sweeps in the evaluation, so they gain the most from ``jobs``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.rate import optimal_rate
 from repro.protocol.config import ProtocolConfig
+from repro.sweep import ResultCache, SweepRunner, SweepSpec, values
 from repro.workloads.iperf import run_iperf
 from repro.workloads.setups import identical_setup, rate_to_mbps
 
@@ -43,22 +48,17 @@ CPU_CAPACITY = 1500.0
 RATE_SWEEP_MBPS = tuple(float(mbps) for mbps in range(100, 825, 25))
 
 
-def _measure(
-    channel_mbps: float,
-    kappa: float,
-    mu: float,
-    duration: float,
-    warmup: float,
-    seed: int,
-) -> Dict[str, float]:
+def fig67_point(params: Dict[str, float], seed: int) -> Dict[str, float]:
+    """Measure one CPU-bound capacity point; shared by Figures 6 and 7."""
+    channel_mbps, kappa, mu = params["channel_mbps"], params["kappa"], params["mu"]
     channels = identical_setup(channel_mbps)
     config = ProtocolConfig(kappa=kappa, mu=mu, share_synthetic=True)
     result = run_iperf(
         channels,
         config,
         offered_rate=OFFERED_RATE,
-        duration=duration,
-        warmup=warmup,
+        duration=params["duration"],
+        warmup=params["warmup"],
         seed=seed,
         sender_cpu_capacity=CPU_CAPACITY,
         receiver_cpu_capacity=CPU_CAPACITY,
@@ -73,12 +73,57 @@ def _measure(
     }
 
 
+def fig6_spec(
+    sweep_mbps: Sequence[float] = RATE_SWEEP_MBPS,
+    duration: float = 20.0,
+    warmup: float = 4.0,
+    seed: int = 4,
+    quick: bool = False,
+) -> SweepSpec:
+    """The Figure 6 capacity sweep (κ = µ = 1) as a declarative spec."""
+    if quick:
+        sweep_mbps = tuple(np.arange(100.0, 850.0, 100.0))
+        duration = min(duration, 6.0)
+        warmup = min(warmup, 1.5)
+    return SweepSpec(
+        spec_id="fig6",
+        base={"kappa": 1.0, "mu": 1.0, "duration": duration, "warmup": warmup, "seed": seed},
+        axes={"channel_mbps": [float(mbps) for mbps in sweep_mbps]},
+    )
+
+
+def fig7_spec(
+    sweep_mbps: Sequence[float] = RATE_SWEEP_MBPS,
+    kappas: Sequence[float] = (1.0, 2.0, 3.0, 4.0, 5.0),
+    duration: float = 20.0,
+    warmup: float = 4.0,
+    seed: int = 5,
+    quick: bool = False,
+) -> SweepSpec:
+    """The Figure 7 capacity sweep (µ = 5, κ in 1..5) as a declarative spec."""
+    if quick:
+        sweep_mbps = tuple(np.arange(100.0, 850.0, 100.0))
+        kappas = (1.0, 3.0, 5.0)
+        duration = min(duration, 6.0)
+        warmup = min(warmup, 1.5)
+    return SweepSpec(
+        spec_id="fig7",
+        base={"mu": 5.0, "duration": duration, "warmup": warmup, "seed": seed},
+        axes={
+            "kappa": [float(kappa) for kappa in kappas],
+            "channel_mbps": [float(mbps) for mbps in sweep_mbps],
+        },
+    )
+
+
 def run_fig6(
     sweep_mbps: Sequence[float] = RATE_SWEEP_MBPS,
     duration: float = 20.0,
     warmup: float = 4.0,
     seed: int = 4,
     quick: bool = False,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> List[Dict[str, float]]:
     """Figure 6: κ = µ = 1 over the capacity sweep.
 
@@ -87,15 +132,9 @@ def run_fig6(
     achieved rate.  The level-off point is where achieved departs from
     optimal.
     """
-    if quick:
-        sweep_mbps = tuple(np.arange(100.0, 850.0, 100.0))
-        duration = min(duration, 6.0)
-        warmup = min(warmup, 1.5)
-    return [
-        _measure(mbps, kappa=1.0, mu=1.0, duration=duration, warmup=warmup,
-                 seed=seed + int(mbps))
-        for mbps in sweep_mbps
-    ]
+    spec = fig6_spec(sweep_mbps, duration, warmup, seed, quick)
+    runner = SweepRunner(jobs=jobs, cache=cache)
+    return values(runner.run(spec, fig67_point))
 
 
 def run_fig7(
@@ -105,6 +144,8 @@ def run_fig7(
     warmup: float = 4.0,
     seed: int = 5,
     quick: bool = False,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> List[Dict[str, float]]:
     """Figure 7: µ = 5 with κ in 1..5 over the capacity sweep.
 
@@ -112,19 +153,9 @@ def run_fig7(
     optimal at lower channel rates -- the paper's headline observation for
     this figure.
     """
-    if quick:
-        sweep_mbps = tuple(np.arange(100.0, 850.0, 100.0))
-        kappas = (1.0, 3.0, 5.0)
-        duration = min(duration, 6.0)
-        warmup = min(warmup, 1.5)
-    rows = []
-    for kappa in kappas:
-        for mbps in sweep_mbps:
-            rows.append(
-                _measure(mbps, kappa=kappa, mu=5.0, duration=duration,
-                         warmup=warmup, seed=seed + int(kappa * 1000) + int(mbps))
-            )
-    return rows
+    spec = fig7_spec(sweep_mbps, kappas, duration, warmup, seed, quick)
+    runner = SweepRunner(jobs=jobs, cache=cache)
+    return values(runner.run(spec, fig67_point))
 
 
 def saturation_point(rows: Sequence[Dict[str, float]], tolerance: float = 0.95) -> float:
@@ -139,15 +170,15 @@ def saturation_point(rows: Sequence[Dict[str, float]], tolerance: float = 0.95) 
     return float("inf")
 
 
-def main(quick: bool = False) -> None:  # pragma: no cover - exercised via runner
+def main(quick: bool = False, jobs: int = 1, cache: Optional[ResultCache] = None) -> None:  # pragma: no cover - exercised via runner
     from repro.experiments.reporting import rows_to_table
 
-    rows6 = run_fig6(quick=quick)
+    rows6 = run_fig6(quick=quick, jobs=jobs, cache=cache)
     print("\nFigure 6: Identical setup, increasing channel rate, κ = µ = 1")
     print(rows_to_table(rows6, ["channel_mbps", "optimal_mbps", "achieved_mbps"], precision=1))
     print(f"level-off (achieved < 95% optimal) at ~{saturation_point(rows6)} Mbps/channel")
 
-    rows7 = run_fig7(quick=quick)
+    rows7 = run_fig7(quick=quick, jobs=jobs, cache=cache)
     print("\nFigure 7: Identical setup, increasing channel rate, µ = 5")
     print(rows_to_table(rows7, ["kappa", "channel_mbps", "optimal_mbps", "achieved_mbps"], precision=1))
     for kappa in sorted({row["kappa"] for row in rows7}):

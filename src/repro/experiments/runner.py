@@ -4,20 +4,31 @@ Usage::
 
     python -m repro.experiments.runner            # full sweeps (slow)
     python -m repro.experiments.runner --quick    # coarse sweeps (~minutes)
+    python -m repro.experiments.runner --quick --jobs 8 --resume
 
 The output is the text-table equivalent of the paper's Figures 2-7; the
 shape comparisons recorded in EXPERIMENTS.md come from this runner.
+
+``--jobs N`` fans each figure's sweep out over N worker processes (the
+rows are identical to a serial run -- see docs/SWEEPS.md), and
+``--resume`` caches finished points under ``results/cache/`` so an
+interrupted run picks up where it left off.  A figure that raises is
+reported (with its traceback) and the remaining figures still run; the
+exit code is then nonzero instead of dying mid-run with partial output.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 import time
+import traceback
 
 from repro.experiments import fig2, fig3, fig4, fig5, fig67
+from repro.sweep import DEFAULT_CACHE_DIR, ResultCache
 
 
-def main() -> None:
+def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--quick", action="store_true", help="coarse sweeps for a fast end-to-end pass"
@@ -27,21 +38,54 @@ def main() -> None:
         choices=["fig2", "fig3", "fig4", "fig5", "fig6", "fig7"],
         help="run a single figure reproduction",
     )
-    args = parser.parse_args()
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes per sweep (results identical to --jobs 1)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=f"cache finished sweep points under {DEFAULT_CACHE_DIR}/ and "
+        "reuse them on re-runs",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help="cache location used with --resume",
+    )
+    args = parser.parse_args(argv)
+
+    cache = ResultCache(args.cache_dir) if args.resume else None
+    sweep_kwargs = {"jobs": args.jobs, "cache": cache}
+    figures = [
+        ("fig2", lambda: fig2.main(), ("fig2",)),
+        ("fig3", lambda: fig3.main(quick=args.quick, **sweep_kwargs), ("fig3",)),
+        ("fig4", lambda: fig4.main(quick=args.quick, **sweep_kwargs), ("fig4",)),
+        ("fig5", lambda: fig5.main(quick=args.quick, **sweep_kwargs), ("fig5",)),
+        ("fig6/7", lambda: fig67.main(quick=args.quick, **sweep_kwargs), ("fig6", "fig7")),
+    ]
 
     started = time.time()
-    if args.only in (None, "fig2"):
-        fig2.main()
-    if args.only in (None, "fig3"):
-        fig3.main(quick=args.quick)
-    if args.only in (None, "fig4"):
-        fig4.main(quick=args.quick)
-    if args.only in (None, "fig5"):
-        fig5.main(quick=args.quick)
-    if args.only in (None, "fig6", "fig7"):
-        fig67.main(quick=args.quick)
+    failures = []
+    for name, run, selectors in figures:
+        if args.only is not None and args.only not in selectors:
+            continue
+        figure_started = time.time()
+        try:
+            run()
+        except Exception:
+            failures.append(name)
+            print(f"\n{name} FAILED:\n{traceback.format_exc()}", file=sys.stderr)
+        print(f"[{name} wall time: {time.time() - figure_started:.1f}s]")
     print(f"\ntotal wall time: {time.time() - started:.1f}s")
+    if failures:
+        print(f"FAILED figures: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

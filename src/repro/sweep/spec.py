@@ -1,0 +1,156 @@
+"""Declarative sweep specifications with deterministic per-point seeds.
+
+Every evaluation in the paper is a sweep -- over κ, µ, channel setups,
+offered rates and seeds.  A :class:`SweepSpec` names such a grid once and
+enumerates it as picklable :class:`SweepPoint` descriptors, so the same
+definition drives the serial loop, the process pool and the result cache.
+
+Two properties are load-bearing:
+
+1. **Deterministic enumeration.**  Points are the cartesian product of the
+   axes in declaration order, so a spec enumerates the same points in the
+   same order in every process and on every run.
+2. **Deterministic seeds.**  Each point's RNG seed is derived by hashing
+   ``(spec_id, point params)`` -- never from worker identity, submission
+   order or a shared counter -- so results are independent of how the
+   sweep is scheduled, and distinct grid points can never collide the way
+   ad-hoc arithmetic like ``seed + int(kappa * 1000) + int(mu * 10)`` can.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
+
+__all__ = ["SweepPoint", "SweepSpec", "canonical_json", "derive_seed"]
+
+
+def canonical_json(value: Any) -> str:
+    """Render ``value`` as canonical JSON (sorted keys, compact, no NaN).
+
+    The canonical form is the hashing substrate for seeds and cache keys,
+    so it must be identical across processes, runs and platforms: floats
+    serialise via ``repr`` (shortest round-trip form, stable for IEEE
+    doubles), keys are sorted, and non-finite floats are rejected rather
+    than emitted as non-standard tokens.
+    """
+    return json.dumps(value, sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+def derive_seed(spec_id: str, params: Mapping[str, Any]) -> int:
+    """The deterministic seed for the point ``(spec_id, params)``.
+
+    A 63-bit integer from SHA-256 over the canonical JSON of the pair --
+    collision-free in practice across any realistic grid, and depending
+    only on the point's identity (the same point gets the same seed no
+    matter which worker computes it, or in what order).
+    """
+    digest = hashlib.sha256(
+        canonical_json({"spec_id": spec_id, "params": dict(params)}).encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One picklable point of a sweep: its identity plus its parameters.
+
+    ``params`` holds everything the point function needs (JSON-serialisable
+    scalars and lists only, so the point can be hashed and cached); the
+    derived :attr:`seed` is the only randomness root a point function
+    should use.
+    """
+
+    spec_id: str
+    index: int
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Freeze a private copy and verify the params are canonicalisable
+        # now, so every later hash of this point is well-defined.
+        object.__setattr__(self, "params", dict(self.params))
+        canonical_json(self.params)
+
+    @property
+    def seed(self) -> int:
+        """Deterministic per-point seed (see :func:`derive_seed`)."""
+        return derive_seed(self.spec_id, self.params)
+
+    def identity(self) -> str:
+        """Canonical JSON of ``(spec_id, params)`` -- the cache-key substrate.
+
+        ``index`` is deliberately excluded: a point's identity is *what* it
+        computes, not where it sits in one particular enumeration.
+        """
+        return canonical_json({"spec_id": self.spec_id, "params": dict(self.params)})
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A named parameter grid: fixed ``base`` params times variable ``axes``.
+
+    Args:
+        spec_id: stable name of the sweep (include anything that changes
+            its meaning, e.g. ``"fig3/identical"``).  Two specs with the
+            same id and params share seeds and cache entries -- that is
+            the point.
+        axes: ordered mapping of axis name to its values; the grid is the
+            cartesian product in declaration order, last axis fastest
+            (matching the nested ``for`` loops the spec replaces).
+        base: parameters common to every point (durations, setup names,
+            the root seed...).  An axis may not shadow a base key.
+        grid: alternative to ``axes`` for *coupled* grids (e.g. the µ
+            range that depends on κ): an explicit list of per-point param
+            dicts, each merged over ``base``.  Mutually exclusive with
+            ``axes``.
+    """
+
+    spec_id: str
+    axes: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    base: Mapping[str, Any] = field(default_factory=dict)
+    grid: Optional[Sequence[Mapping[str, Any]]] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "axes", {k: list(v) for k, v in self.axes.items()})
+        object.__setattr__(self, "base", dict(self.base))
+        if self.grid is not None:
+            if self.axes:
+                raise ValueError("give either axes or grid, not both")
+            object.__setattr__(self, "grid", [dict(entry) for entry in self.grid])
+            shadowed = set().union(*(set(entry) for entry in self.grid or [{}])) & set(self.base)
+        else:
+            shadowed = set(self.axes) & set(self.base)
+        if shadowed:
+            raise ValueError(f"variable params shadow base params: {sorted(shadowed)}")
+        for name, values in self.axes.items():
+            if not values:
+                raise ValueError(f"axis {name!r} has no values")
+
+    def __len__(self) -> int:
+        if self.grid is not None:
+            return len(self.grid)
+        count = 1
+        for values in self.axes.values():
+            count *= len(values)
+        return count
+
+    def __iter__(self) -> Iterator[SweepPoint]:
+        if self.grid is not None:
+            combos: Iterable[Dict[str, Any]] = (dict(entry) for entry in self.grid)
+        else:
+            names = list(self.axes)
+            combos = (
+                dict(zip(names, combo))
+                for combo in itertools.product(*self.axes.values())
+            )
+        for index, combo in enumerate(combos):
+            params: Dict[str, Any] = dict(self.base)
+            params.update(combo)
+            yield SweepPoint(spec_id=self.spec_id, index=index, params=params)
+
+    def points(self) -> List[SweepPoint]:
+        """The full grid as a list, in deterministic enumeration order."""
+        return list(self)

@@ -1,0 +1,140 @@
+"""SweepRunner execution semantics: order, parallelism, isolation, retry."""
+
+import os
+
+import pytest
+
+from repro.obs import Observability
+from repro.sweep import SweepError, SweepRunner, SweepSpec, values
+
+
+def square_point(params, seed):
+    """Module-level (picklable) point function used across these tests."""
+    return {"square": params["x"] ** 2, "seed": seed}
+
+
+def flaky_point(params, seed):
+    """Fails on the first N calls per point, tracked via a marker file."""
+    marker = os.path.join(params["dir"], f"attempts-{params['x']}")
+    attempts = 0
+    if os.path.exists(marker):
+        with open(marker) as handle:
+            attempts = int(handle.read())
+    with open(marker, "w") as handle:
+        handle.write(str(attempts + 1))
+    if attempts < params["fail_first"]:
+        raise RuntimeError(f"transient failure {attempts}")
+    return {"x": params["x"]}
+
+
+def poison_point(params, seed):
+    if params["x"] == 2:
+        raise ValueError("poisoned point")
+    return {"x": params["x"]}
+
+
+SPEC = SweepSpec("squares", axes={"x": [1, 2, 3, 4, 5]})
+
+
+class TestSerial:
+    def test_results_in_enumeration_order(self):
+        results = SweepRunner().run(SPEC, square_point)
+        assert [r.value["square"] for r in results] == [1, 4, 9, 16, 25]
+        assert all(r.ok and r.attempts == 1 and not r.cached for r in results)
+
+    def test_stats(self):
+        runner = SweepRunner()
+        runner.run(SPEC, square_point)
+        assert runner.stats.points == 5
+        assert runner.stats.computed == 5
+        assert runner.stats.cache_hits == 0
+        assert runner.stats.failures == 0
+        assert "points=5" in runner.stats.summary()
+
+    def test_point_list_accepted(self):
+        results = SweepRunner().run(SPEC.points()[:2], square_point)
+        assert len(results) == 2
+
+
+class TestParallel:
+    def test_identical_to_serial(self):
+        serial = values(SweepRunner(jobs=1).run(SPEC, square_point))
+        parallel = values(SweepRunner(jobs=3).run(SPEC, square_point))
+        assert parallel == serial
+
+    def test_seeds_derived_from_identity(self):
+        # The seed handed to the point function must be the point's own,
+        # regardless of which worker ran it.
+        results = SweepRunner(jobs=2).run(SPEC, square_point)
+        for result in results:
+            assert result.value["seed"] == result.point.seed
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            SweepRunner(jobs=0)
+
+
+class TestFailureIsolation:
+    def test_one_failing_point_does_not_stop_the_sweep(self):
+        results = SweepRunner().run(SPEC, poison_point)
+        assert [r.ok for r in results] == [True, False, True, True, True]
+        failed = results[1]
+        assert "poisoned point" in failed.error
+        assert failed.value is None
+        with pytest.raises(SweepError):
+            values(results)
+
+    def test_parallel_failure_isolation(self):
+        results = SweepRunner(jobs=2).run(SPEC, poison_point)
+        assert [r.ok for r in results] == [True, False, True, True, True]
+
+    def test_failure_counted_in_stats(self):
+        runner = SweepRunner()
+        runner.run(SPEC, poison_point)
+        assert runner.stats.failures == 1
+        assert runner.stats.computed == 5
+
+
+class TestRetry:
+    def test_bounded_retry_recovers_transient_failures(self, tmp_path):
+        spec = SweepSpec(
+            "flaky", axes={"x": [1, 2]},
+            base={"dir": str(tmp_path), "fail_first": 2},
+        )
+        results = SweepRunner(retries=2).run(spec, flaky_point)
+        assert all(r.ok for r in results)
+        assert all(r.attempts == 3 for r in results)
+
+    def test_retries_exhausted_records_failure(self, tmp_path):
+        spec = SweepSpec(
+            "flaky2", axes={"x": [1]},
+            base={"dir": str(tmp_path), "fail_first": 5},
+        )
+        runner = SweepRunner(retries=1)
+        results = runner.run(spec, flaky_point)
+        assert not results[0].ok
+        assert results[0].attempts == 2
+        assert runner.stats.retries == 1
+        assert runner.stats.failures == 1
+
+    def test_invalid_retries_rejected(self):
+        with pytest.raises(ValueError):
+            SweepRunner(retries=-1)
+
+
+class TestMetrics:
+    def test_counters_reach_the_registry(self):
+        obs = Observability.create()
+        runner = SweepRunner(obs=obs)
+        runner.run(SPEC, poison_point)
+        registry = obs.registry
+        assert registry.counter("sweep_points_total").value == 5
+        assert registry.counter("sweep_failures_total").value == 1
+        assert registry.counter("sweep_cache_hits_total").value == 0
+
+    def test_counters_accumulate_across_runs(self):
+        obs = Observability.create()
+        runner = SweepRunner(obs=obs)
+        runner.run(SPEC, square_point)
+        runner.run(SPEC, square_point)
+        assert obs.registry.counter("sweep_points_total").value == 10
