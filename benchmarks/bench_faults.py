@@ -70,7 +70,7 @@ def compare_scenarios():
     for scenario in FAULT_SCENARIOS:
         comparison[scenario] = measure(scenario)
     baseline = comparison["baseline"]["goodput_symbols_per_unit"]
-    for name, row in comparison.items():
+    for row in comparison.values():
         row["goodput_vs_baseline"] = (
             row["goodput_symbols_per_unit"] / baseline if baseline else 0.0
         )

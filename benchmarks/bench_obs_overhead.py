@@ -76,7 +76,7 @@ def compare_modes():
     frequency drift hits every mode equally instead of whichever ran last.
     """
     comparison = {}
-    for repeat in range(REPEATS):
+    for _repeat in range(REPEATS):
         for mode in MODES:
             elapsed, result, obs = _timed_run(mode)
             row = comparison.get(mode)

@@ -113,7 +113,10 @@ class HmmRiskEstimator:
         likelihood = self.model.emission[:, int(bool(alert))]
         unnormalised = predicted * likelihood
         total = unnormalised.sum()
-        if total == 0.0:  # pragma: no cover - both likelihoods zero
+        # Exact-zero sentinel: total is exactly 0.0 only when every state's
+        # likelihood product underflows to zero, the one case where the
+        # normalising division is undefined.
+        if total == 0.0:  # pragma: no cover - both likelihoods zero  # lint: disable=float-eq
             self._belief = predicted
         else:
             self._belief = unnormalised / total

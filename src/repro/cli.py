@@ -304,6 +304,13 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the AST-based determinism linter (see docs/LINTING.md)."""
+    from repro.lint.cli import run_lint
+
+    return run_lint(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -435,6 +442,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--out", help="also write the result rows to this JSON file")
     sweep.set_defaults(func=cmd_sweep)
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically check the tree for reproducibility hazards",
+        description="AST-based determinism linter: proves wall-clock reads, "
+        "unseeded RNG use, unordered iteration, environment reads, mutable "
+        "defaults and exact float comparisons absent from the simulation "
+        "tree.  Exits 0 on a clean tree, 1 on findings.  See docs/LINTING.md.",
+    )
+    from repro.lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
+    lint.set_defaults(func=cmd_lint)
 
     return parser
 

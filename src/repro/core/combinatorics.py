@@ -22,8 +22,7 @@ def subsets_of(items: Iterable[int], min_size: int = 0) -> Iterator[FrozenSet[in
     """
     pool = sorted(items)
     for size in range(min_size, len(pool) + 1):
-        for combo in combinations(pool, size):
-            yield frozenset(combo)
+        yield from map(frozenset, combinations(pool, size))
 
 
 def poisson_binomial_pmf(probs: Sequence[float]) -> np.ndarray:

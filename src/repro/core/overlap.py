@@ -154,7 +154,11 @@ def joint_subset_risk(
         for edge, tapped in zip(shared, taps):
             z = _edge_attr(graph, edge, "risk", 0.0)
             weight *= z if tapped else 1.0 - z
-        if weight == 0.0:
+        # Exact-zero sentinel: the weight is a product of z / (1 - z)
+        # factors and is exactly 0.0 iff some factor is exactly zero
+        # (impossible tap combination); skipping it is an optimisation,
+        # not a tolerance decision.
+        if weight == 0.0:  # lint: disable=float-eq
             continue
         tapped_edges = {edge for edge, tapped in zip(shared, taps) if tapped}
         # Conditioned on the shared-edge taps, the paths observe

@@ -64,7 +64,9 @@ def summarize(values: Sequence[float], confidence: float = 0.95) -> ReplicatedVa
     if len(array) == 1:
         return ReplicatedValue(mean, 0.0, tuple(array), confidence)
     sem = float(array.std(ddof=1) / np.sqrt(len(array)))
-    if sem == 0.0:
+    # Exact-zero sentinel: sem is exactly 0.0 iff every replicate was
+    # identical (std of equal values), where the t-interval degenerates.
+    if sem == 0.0:  # lint: disable=float-eq
         return ReplicatedValue(mean, 0.0, tuple(array), confidence)
     t_crit = float(scipy_stats.t.ppf((1.0 + confidence) / 2.0, df=len(array) - 1))
     return ReplicatedValue(mean, t_crit * sem, tuple(array), confidence)

@@ -1,0 +1,56 @@
+"""Determinism linter: static enforcement of reproducibility invariants.
+
+Every result this reproduction publishes -- the Fig. 3-7 comparisons
+against the closed-form optima, the fault-injection chaos tests, the
+sweep cache's content-addressed hits -- rests on one invariant: a
+``(seed, config)`` pair produces byte-identical output.  The dynamic
+same-seed trace tests check that invariant *after* a hazard lands; this
+package proves a class of hazards absent at lint time, in the spirit of
+the paper's own methodology (guarantees derived statically from the
+model rather than observed empirically).
+
+The subsystem is a small AST-based static-analysis framework:
+
+* :mod:`repro.lint.findings` -- the :class:`Finding` record (file, line,
+  column, rule id, message) with a stable JSON round-trip.
+* :mod:`repro.lint.rules` -- the :class:`Rule` base class and registry.
+* :mod:`repro.lint.resolve` -- import-alias collection and dotted-name
+  resolution (``np.random.seed`` -> ``numpy.random.seed``).
+* :mod:`repro.lint.checks` -- the determinism rule catalogue
+  (``wall-clock``, ``unseeded-rng``, ``unordered-iteration``,
+  ``env-read``, ``mutable-default``, ``float-eq``).
+* :mod:`repro.lint.suppressions` -- ``# lint: disable=<rule>`` (per
+  line) and ``# lint: file-disable=<rule>`` (per file) directives.
+* :mod:`repro.lint.baseline` -- a JSON baseline of grandfathered
+  findings (ships empty; see docs/LINTING.md).
+* :mod:`repro.lint.engine` -- the single-pass visitor that walks the
+  tree once per file and dispatches every node to the interested rules.
+* :mod:`repro.lint.cli` -- the ``repro-model lint`` entry point.
+
+The linter is itself deterministic: files are discovered in sorted
+order, nodes are visited in AST order and findings are reported sorted
+by ``(file, line, column, rule)``, so two runs over the same tree emit
+byte-identical output.  CI gates on ``repro-model lint`` exiting zero
+(see ``.github/workflows/ci.yml`` and docs/LINTING.md).
+"""
+
+from repro.lint.baseline import Baseline
+from repro.lint.checks import default_rules
+from repro.lint.engine import LintEngine, LintReport, lint_paths
+from repro.lint.findings import Finding
+from repro.lint.rules import Rule, all_rules, get_rule, register
+from repro.lint.suppressions import FileSuppressions
+
+__all__ = [
+    "Baseline",
+    "FileSuppressions",
+    "Finding",
+    "LintEngine",
+    "LintReport",
+    "Rule",
+    "all_rules",
+    "default_rules",
+    "get_rule",
+    "lint_paths",
+    "register",
+]

@@ -1,0 +1,238 @@
+"""The single-pass lint engine.
+
+One ``ast.parse`` and one tree walk per file, however many rules are
+registered: the engine precomputes a ``node type -> interested rules``
+dispatch table and feeds every node to exactly the rules that declared
+that type.  Suppressions and the baseline are applied afterwards, so a
+report always accounts for every raw finding (``findings`` +
+``suppressed`` + ``baselined`` partitions the raw set).
+
+The engine eats its own dogfood: file discovery sorts directory
+listings, findings are sorted before reporting, and nothing here reads
+a clock, the environment or unordered containers -- two runs over the
+same tree produce byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
+
+from repro.lint.baseline import Baseline
+from repro.lint.checks import default_rules
+from repro.lint.findings import Finding
+from repro.lint.resolve import collect_aliases
+from repro.lint.rules import FileContext, Rule
+from repro.lint.suppressions import BAD_DIRECTIVE, parse_suppressions
+
+__all__ = ["LintEngine", "LintReport", "lint_paths"]
+
+#: Rule id under which unparseable files are reported.
+PARSE_ERROR = "parse-error"
+
+#: Directory names never descended into during discovery.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".ruff_cache", ".pytest_cache"})
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run.
+
+    ``findings`` are the live (non-suppressed, non-baselined) hazards;
+    ``ok`` is the CI gate.
+    """
+
+    root: str
+    files_scanned: int = 0
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def rule_counts(self) -> Dict[str, int]:
+        """Live findings per rule id, sorted by rule id."""
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_dict(self) -> dict:
+        """The ``--format json`` schema (documented in docs/LINTING.md)."""
+        return {
+            "version": 1,
+            "files_scanned": self.files_scanned,
+            "ok": self.ok,
+            "counts": self.rule_counts(),
+            "findings": [finding.to_dict() for finding in self.findings],
+            "suppressed": len(self.suppressed),
+            "baselined": len(self.baselined),
+        }
+
+    def summary(self) -> str:
+        """One-line human summary for the end of text output."""
+        return (
+            f"{len(self.findings)} finding(s) "
+            f"({len(self.suppressed)} suppressed, {len(self.baselined)} baselined) "
+            f"in {self.files_scanned} file(s)"
+        )
+
+
+class LintEngine:
+    """Walks files once and dispatches AST nodes to the registered rules.
+
+    Args:
+        rules: rule instances to run; defaults to the full catalogue
+            with repo-default scoping (:func:`repro.lint.checks.default_rules`).
+        baseline: grandfathered findings; absorbed findings are reported
+            separately and do not fail the run.
+        obs: optional :class:`repro.obs.Observability`; when given, the
+            engine emits ``lint_files_scanned_total``,
+            ``lint_findings_total{rule=...}``, ``lint_suppressed_total{rule=...}``
+            and ``lint_baselined_total`` counters.
+    """
+
+    def __init__(
+        self,
+        rules: Optional[Sequence[Rule]] = None,
+        baseline: Optional[Baseline] = None,
+        obs=None,
+    ):
+        self.rules: List[Rule] = list(rules) if rules is not None else default_rules()
+        self.baseline = baseline
+        self.obs = obs
+        self._dispatch: Dict[Type[ast.AST], List[Rule]] = {}
+        for rule in self.rules:
+            for node_type in rule.node_types:
+                self._dispatch.setdefault(node_type, []).append(rule)
+
+    # -- discovery --------------------------------------------------------------
+
+    @staticmethod
+    def discover(root: str, paths: Sequence[str]) -> List[str]:
+        """Resolve files/directories to a sorted list of ``.py`` files.
+
+        Directories are walked with sorted listings (the linter must not
+        itself depend on filesystem order); ``__pycache__`` and VCS/tool
+        cache directories are skipped.  Paths are returned relative to
+        ``root`` with forward slashes.
+        """
+        found: List[str] = []
+        for path in paths:
+            absolute = path if os.path.isabs(path) else os.path.join(root, path)
+            if os.path.isfile(absolute):
+                found.append(os.path.relpath(absolute, root))
+                continue
+            if not os.path.isdir(absolute):
+                raise FileNotFoundError(f"lint path does not exist: {path!r}")
+            for dirpath, dirnames, filenames in os.walk(absolute):
+                dirnames[:] = sorted(d for d in dirnames if d not in _SKIP_DIRS)
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        found.append(os.path.relpath(os.path.join(dirpath, name), root))
+        return sorted(dict.fromkeys(p.replace(os.sep, "/") for p in found))
+
+    # -- per-file pass ----------------------------------------------------------
+
+    def lint_source(self, relpath: str, source: str) -> Tuple[List[Finding], List[Finding]]:
+        """Lint one file's source text.
+
+        Returns ``(raw_findings, suppressed)`` -- baseline handling is
+        run-level, not file-level.
+        """
+        source_lines = source.splitlines()
+        known = [rule.rule_id for rule in self.rules] + [PARSE_ERROR]
+        suppressions = parse_suppressions(source_lines, known)
+        findings: List[Finding] = []
+        for line, column, message in suppressions.bad_directives:
+            findings.append(
+                Finding(file=relpath, line=line, column=column, rule=BAD_DIRECTIVE, message=message)
+            )
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    file=relpath,
+                    line=exc.lineno or 1,
+                    column=(exc.offset or 1) - 1,
+                    rule=PARSE_ERROR,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+            return self._split_suppressed(findings, suppressions)
+
+        applicable = [rule for rule in self.rules if rule.applies_to(relpath)]
+        if applicable:
+            context = FileContext(
+                relpath=relpath,
+                source_lines=source_lines,
+                aliases=collect_aliases(tree),
+                suppressions=suppressions,
+            )
+            dispatch: Dict[Type[ast.AST], List[Rule]] = {}
+            for rule in applicable:
+                for node_type in rule.node_types:
+                    dispatch.setdefault(node_type, []).append(rule)
+            for node in ast.walk(tree):
+                for rule in dispatch.get(type(node), ()):
+                    findings.extend(rule.visit(node, context))
+        findings.sort()
+        return self._split_suppressed(findings, suppressions)
+
+    @staticmethod
+    def _split_suppressed(findings, suppressions) -> Tuple[List[Finding], List[Finding]]:
+        live = [f for f in findings if not suppressions.is_suppressed(f.rule, f.line)]
+        dead = [f for f in findings if suppressions.is_suppressed(f.rule, f.line)]
+        return live, dead
+
+    # -- whole-run entry point --------------------------------------------------
+
+    def run(self, root: str, paths: Sequence[str]) -> LintReport:
+        """Lint every ``.py`` file under ``paths`` (relative to ``root``)."""
+        report = LintReport(root=root)
+        raw: List[Finding] = []
+        for relpath in self.discover(root, paths):
+            with open(os.path.join(root, relpath), encoding="utf-8") as handle:
+                source = handle.read()
+            live, suppressed = self.lint_source(relpath, source)
+            raw.extend(live)
+            report.suppressed.extend(suppressed)
+            report.files_scanned += 1
+        raw.sort()
+        if self.baseline is not None:
+            report.findings, report.baselined = self.baseline.partition(raw)
+        else:
+            report.findings = raw
+        self._emit_counters(report)
+        return report
+
+    def _emit_counters(self, report: LintReport) -> None:
+        """Rule-hit counters through repro.obs (no-op without obs)."""
+        if self.obs is None:
+            return
+        registry = self.obs.registry
+        registry.counter("lint_files_scanned_total").inc(report.files_scanned)
+        for rule_id, count in report.rule_counts().items():
+            registry.counter("lint_findings_total", rule=rule_id).inc(count)
+        suppressed_counts: Dict[str, int] = {}
+        for finding in report.suppressed:
+            suppressed_counts[finding.rule] = suppressed_counts.get(finding.rule, 0) + 1
+        for rule_id, count in sorted(suppressed_counts.items()):
+            registry.counter("lint_suppressed_total", rule=rule_id).inc(count)
+        registry.counter("lint_baselined_total").inc(len(report.baselined))
+
+
+def lint_paths(
+    root: str,
+    paths: Iterable[str],
+    rules: Optional[Sequence[Rule]] = None,
+    baseline: Optional[Baseline] = None,
+    obs=None,
+) -> LintReport:
+    """Convenience wrapper: build an engine and run it once."""
+    return LintEngine(rules=rules, baseline=baseline, obs=obs).run(root, list(paths))

@@ -150,11 +150,12 @@ def _prom_labels(labels: dict, extra: Optional[dict] = None) -> str:
         merged.update(extra)
     if not merged:
         return ""
-    inner = ",".join(
-        '{}="{}"'.format(k, str(v).replace("\\", "\\\\").replace('"', '\\"'))
-        for k, v in merged.items()
-    )
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in merged.items())
     return "{" + inner + "}"
+
+
+def _escape_label_value(value) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"')
 
 
 def metrics_to_prometheus(samples: Sequence[dict]) -> str:

@@ -54,6 +54,17 @@ class TestSweepSpec:
         with pytest.raises(ValueError):
             SweepSpec("s", grid=[{"a": 1}], base={"a": 2})
 
+    def test_shadow_error_text_is_sorted(self):
+        # The shadowed names are collected into a set; the message must
+        # sort them so the error text is byte-identical across runs
+        # regardless of hash seed (PYTHONHASHSEED) or insertion order.
+        with pytest.raises(ValueError, match=r"\['alpha', 'beta', 'gamma'\]"):
+            SweepSpec(
+                "s",
+                grid=[{"gamma": 1, "alpha": 2}, {"beta": 3}],
+                base={"beta": 0, "gamma": 0, "alpha": 0, "keep": 1},
+            )
+
     def test_empty_axis_rejected(self):
         with pytest.raises(ValueError):
             SweepSpec("s", axes={"a": []})
