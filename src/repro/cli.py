@@ -267,6 +267,11 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         channels, args.mu, config.symbol_size
     )
     fault_plan = load_fault_plan(args.faults, args.duration, args.warmup)
+    resilience = None
+    if args.resilience:
+        from repro.protocol.resilience import ResilienceConfig
+
+        resilience = ResilienceConfig()
     obs = None
     if args.metrics_out or args.trace_out:
         obs = Observability.create(tracing=bool(args.trace_out))
@@ -279,6 +284,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         seed=args.seed,
         fault_plan=fault_plan,
         obs=obs,
+        resilience=resilience,
     )
     optimum = optimal_rate(channels, args.mu)
     print(f"offered rate   = {offered:.4f} symbols/unit")
@@ -289,6 +295,16 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     print(f"mean delay     = {result.mean_delay_ms:.4f} ms")
     if result.fault_summary is not None:
         print(f"faults applied = {json.dumps(result.fault_summary, sort_keys=True)}")
+    if result.resilience_summary is not None:
+        summary = result.resilience_summary
+        print(
+            "resilience     = "
+            f"quarantines={summary['quarantines']} "
+            f"reinstatements={summary['reinstatements']} "
+            f"failovers={summary['failovers']} "
+            f"nacks={summary['nacks_received']} "
+            f"repair_shares={summary['repair_shares_sent']}"
+        )
     if obs is not None:
         snapshot = obs.registry.snapshot()
         if args.metrics_out:
@@ -369,6 +385,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--faults",
         help="fault injection: a canonical scenario name (flap, burst, "
         "delay_spike, rate_cut, partition_heal) or a JSON fault-plan file",
+    )
+    simulate.add_argument(
+        "--resilience",
+        action="store_true",
+        help="enable the resilience layer (quarantine, failover, repair; "
+        "see docs/RESILIENCE.md)",
     )
     simulate.add_argument(
         "--metrics-out",

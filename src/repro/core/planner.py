@@ -167,6 +167,7 @@ def plan_max_rate(
     mu_step: float = 0.25,
     objective: Objective = Objective.PRIVACY,
     backend: str = "auto",
+    min_kappa: float = 1.0,
 ) -> Plan:
     """The fastest configuration meeting the requirements.
 
@@ -175,17 +176,26 @@ def plan_max_rate(
     schedule.  The returned plan therefore has the maximum achievable rate,
     with ``objective`` optimised among schedules at the accepted (κ, µ).
 
+    ``min_kappa`` restricts the search to κ >= min_kappa: the resilience
+    layer's failover uses it as the privacy floor, so a degraded-channel
+    re-plan can trade rate but never threshold (docs/RESILIENCE.md).
+
     Raises:
         NoFeasiblePlanError: if no grid point satisfies the requirements.
-        ValueError: on a non-positive grid step.
+        ValueError: on a non-positive grid step or ``min_kappa < 1``.
     """
     if kappa_step <= 0 or mu_step <= 0:
         raise ValueError("grid steps must be positive")
+    if min_kappa < 1.0:
+        raise ValueError(f"min_kappa must be >= 1, got {min_kappa}")
     n = channels.n
     mu_values = [round(1.0 + i * mu_step, 10) for i in range(int((n - 1) / mu_step) + 1)]
     if mu_values[-1] < n:
         mu_values.append(float(n))
+    tolerance = 1e-9
     for mu in mu_values:
+        if mu < min_kappa - tolerance:
+            continue  # κ <= µ always; no room for the floor at this µ
         rate = optimal_rate(channels, mu)
         if requirements.min_rate is not None and rate < requirements.min_rate:
             break  # rate only falls from here on
@@ -195,6 +205,9 @@ def plan_max_rate(
         ]
         if kappa_values[-1] < mu:
             kappa_values.append(mu)
+        # µ >= min_kappa here and µ itself is always on the grid, so the
+        # filtered list is never empty.
+        kappa_values = [k for k in kappa_values if k >= min_kappa - tolerance]
         # Prefer high κ (better privacy) among equal-rate plans.
         for kappa in reversed(kappa_values):
             try:

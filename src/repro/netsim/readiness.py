@@ -22,7 +22,7 @@ machinery.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import FrozenSet, Iterable, List, Sequence
 
 from repro.netsim.ports import ChannelPort
 
@@ -42,10 +42,23 @@ class WriteSelector:
             raise ValueError(f"unknown ordering {ordering!r}; expected one of {self.ORDERINGS}")
         self.ports = list(ports)
         self.ordering = ordering
+        #: Channel indices excluded from selection regardless of their
+        #: writability -- the resilience layer's quarantine mask.  A
+        #: quarantined link may look writable (its queue was flushed when
+        #: it went down, or its loss is what got it quarantined), so
+        #: readiness alone cannot express the exclusion.
+        self.excluded: FrozenSet[int] = frozenset()
+
+    def set_excluded(self, indices: Iterable[int]) -> None:
+        """Replace the excluded-channel mask."""
+        self.excluded = frozenset(indices)
 
     def ready(self) -> List[ChannelPort]:
-        """All currently writable ports, in the configured order."""
-        writable = [port for port in self.ports if port.writable()]
+        """All currently writable, non-excluded ports, in the configured order."""
+        writable = [
+            port for port in self.ports
+            if port.index not in self.excluded and port.writable()
+        ]
         if self.ordering == "headroom":
             writable.sort(key=lambda port: (-port.headroom, port.index))
         return writable

@@ -227,6 +227,8 @@ _RECEIVER_COUNTERS = {
     "reconstruction_errors": "sim_receiver_reconstruction_errors_total",
     "cpu_rejected_shares": "sim_receiver_cpu_rejected_total",
     "corrupt_shares_detected": "sim_receiver_corrupt_shares_total",
+    "repair_extensions": "sim_receiver_repair_extensions_total",
+    "repair_recovered": "sim_receiver_repair_recovered_total",
 }
 
 
@@ -287,3 +289,61 @@ def instrument_node(obs: Observability, node, role: Optional[str] = None) -> Non
     if obs.tracer.enabled:
         sender.tracer = obs.tracer
         receiver.tracer = obs.tracer
+
+
+# -- resilience -------------------------------------------------------------------
+
+#: ResilienceStats field -> exported counter name (docs/RESILIENCE.md).
+_RESILIENCE_COUNTERS = {
+    "quarantines": "sim_resilience_quarantines_total",
+    "reinstatements": "sim_resilience_reinstatements_total",
+    "failovers": "sim_resilience_failovers_total",
+    "restores": "sim_resilience_restores_total",
+    "degraded_entries": "sim_resilience_degraded_total",
+    "probes_sent": "sim_resilience_probes_sent_total",
+    "probe_acks_sent": "sim_resilience_probe_acks_sent_total",
+    "probe_acks_received": "sim_resilience_probe_acks_received_total",
+    "nacks_sent": "sim_repair_nacks_total",
+    "nacks_received": "sim_repair_nacks_received_total",
+    "repair_shares_sent": "sim_repair_shares_sent_total",
+    "repair_shares_dropped": "sim_repair_shares_dropped_total",
+    "control_decode_errors": "sim_resilience_control_decode_errors_total",
+}
+
+
+def instrument_resilience(obs: Observability, manager) -> None:
+    """Wire a :class:`~repro.protocol.resilience.ResilienceManager`.
+
+    Registers a pull collector for the manager's counter block plus
+    per-channel gauges: the quarantine state (0 = healthy, 1 = suspect,
+    2 = quarantined, 3 = probing) and the detector's EWMA loss estimate.
+    """
+    if not obs.enabled:
+        return
+    # Local import: repro.protocol.resilience pulls in the planner stack,
+    # which this low-level wiring module must not depend on at import time.
+    from repro.protocol.resilience.manager import STATE_ORDINALS
+
+    registry = obs.registry
+    counters = {
+        field: registry.counter(metric)
+        for field, metric in _RESILIENCE_COUNTERS.items()
+    }
+    state_gauges = [
+        registry.gauge("sim_resilience_channel_state", channel=str(channel))
+        for channel in range(len(manager.guards))
+    ]
+    loss_gauges = [
+        registry.gauge("sim_resilience_channel_loss_ewma", channel=str(channel))
+        for channel in range(len(manager.guards))
+    ]
+
+    def collect() -> None:
+        stats = manager.stats
+        for field, counter in counters.items():
+            counter.value = float(getattr(stats, field))
+        for channel, guard in enumerate(manager.guards):
+            state_gauges[channel].set(float(STATE_ORDINALS[guard.state]))
+            loss_gauges[channel].set(manager.health.channel(channel).loss_ewma)
+
+    registry.register_collector(collect)

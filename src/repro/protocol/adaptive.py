@@ -101,6 +101,7 @@ class AdaptiveController:
         self._loss_estimate = [channel.loss for channel in base_channels]
         self._last_serialized = [0] * len(self.links)
         self._last_loss_drops = [0] * len(self.links)
+        self._last_down_drops = [0] * len(self.links)
         self._timer = engine.schedule(period, self._review)
 
     def stop(self) -> None:
@@ -120,15 +121,27 @@ class AdaptiveController:
     # -- the review loop ---------------------------------------------------------
 
     def _observed_loss(self, index: int) -> Optional[float]:
-        """Loss fraction on link ``index`` since the previous review."""
+        """Loss fraction on link ``index`` since the previous review.
+
+        A downed link neither serializes nor loss-drops (sends fail
+        *before* the wire, as ``down_drops``), so outages must be folded
+        in explicitly or the estimator silently keeps its pre-outage
+        estimates and plans over dead channels: send attempts refused by
+        a downed link count as attempted-and-lost, and a link that is
+        down with no attempts at all (e.g. the sender is stalled on
+        readiness) is observed as total loss rather than "no evidence".
+        """
         link = self.links[index]
         serialized = link.stats.serialized - self._last_serialized[index]
         drops = link.stats.loss_drops - self._last_loss_drops[index]
+        down = link.stats.down_drops - self._last_down_drops[index]
         self._last_serialized[index] = link.stats.serialized
         self._last_loss_drops[index] = link.stats.loss_drops
-        if serialized == 0:
-            return None
-        return drops / serialized
+        self._last_down_drops[index] = link.stats.down_drops
+        attempts = serialized + down
+        if attempts == 0:
+            return 1.0 if not link.up else None
+        return (drops + down) / attempts
 
     def _review(self) -> None:
         # 1. risk: fold in this epoch's alerts.

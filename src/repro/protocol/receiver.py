@@ -47,6 +47,11 @@ class ReceiverStats:
     reconstruction_errors: int = 0
     cpu_rejected_shares: int = 0
     corrupt_shares_detected: int = 0
+    #: Timeout evictions deferred by the resilience repair hook (a NACK
+    #: was sent and the entry granted extra time).
+    repair_extensions: int = 0
+    #: Symbols delivered only thanks to at least one repair round.
+    repair_recovered: int = 0
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
@@ -57,6 +62,7 @@ class _Entry:
 
     __slots__ = (
         "seq", "k", "m", "shares", "channels", "first_at", "sent_at", "evict_event",
+        "repair_rounds",
     )
 
     def __init__(self, seq: int, k: int, m: int, first_at: float, sent_at: float):
@@ -68,6 +74,7 @@ class _Entry:
         self.first_at = first_at
         self.sent_at = sent_at
         self.evict_event: Optional[Event] = None
+        self.repair_rounds = 0  # NACK rounds used (resilience repair path)
 
 
 class ReassemblyBuffer:
@@ -128,9 +135,16 @@ class ReassemblyBuffer:
         self.latency_histogram = None
         self.occupancy_histogram = None
         self.tracer = None
+        #: Optional resilience hook ``(entry) -> Optional[float]`` consulted
+        #: on timeout eviction: a float return grants the entry that much
+        #: extra reassembly time (the hook has NACKed its missing shares);
+        #: None lets the eviction proceed.  See docs/RESILIENCE.md.
+        self.repair_policy: Optional[Callable[[_Entry], Optional[float]]] = None
         self._table: "OrderedDict[int, _Entry]" = OrderedDict()
-        self._completed: Set[int] = set()
-        self._completed_order: Deque[int] = deque()
+        #: Sequence numbers known to be closed -- delivered, or evicted
+        #: when the table was full.  Shares for them are *late*, not new.
+        self._closed: Set[int] = set()
+        self._closed_order: Deque[int] = deque()
 
     @property
     def pending(self) -> int:
@@ -162,7 +176,7 @@ class ReassemblyBuffer:
             seq, index, k, m = header.seq, header.index, header.k, header.m
         self.stats.shares_received += 1
 
-        if seq in self._completed:
+        if seq in self._closed:
             self.stats.late_shares += 1
             return
         entry = self._table.get(seq)
@@ -191,9 +205,15 @@ class ReassemblyBuffer:
 
     def _open_entry(self, seq: int, k: int, m: int, datagram: Datagram) -> _Entry:
         if len(self._table) >= self.limit:
-            # Evict the oldest incomplete symbol to make room.
-            _, oldest = self._table.popitem(last=False)
+            # Evict the oldest incomplete symbol to make room.  Unlike a
+            # timeout eviction (where a later share is indistinguishable
+            # from a new symbol, so the entry may be re-opened), a
+            # capacity eviction is a deliberate close: remember the seq so
+            # stragglers count as late instead of opening a fresh entry
+            # that can never complete.
+            evicted_seq, oldest = self._table.popitem(last=False)
             self._drop_entry(oldest)
+            self._remember_closed(evicted_seq)
         sent_at = datagram.meta.get("symbol_sent_at", datagram.sent_at)
         entry = _Entry(seq, k, m, first_at=self.engine.now, sent_at=sent_at)
         entry.evict_event = self.engine.schedule(self.timeout, self._evict, seq)
@@ -211,7 +231,9 @@ class ReassemblyBuffer:
         del self._table[entry.seq]
         if entry.evict_event is not None:
             entry.evict_event.cancel()
-        self._remember_completed(entry.seq)
+        self._remember_closed(entry.seq)
+        if entry.repair_rounds > 0:
+            self.stats.repair_recovered += 1
 
         def finish() -> None:
             if self.synthetic:
@@ -251,21 +273,31 @@ class ReassemblyBuffer:
             # Reconstruction work rejected by a saturated CPU: symbol lost.
             self.stats.cpu_rejected_shares += 1
 
-    def _remember_completed(self, seq: int) -> None:
-        self._completed.add(seq)
-        self._completed_order.append(seq)
+    def _remember_closed(self, seq: int) -> None:
+        self._closed.add(seq)
+        self._closed_order.append(seq)
         max_remembered = self.limit * _COMPLETED_MEMORY_FACTOR
-        while len(self._completed_order) > max_remembered:
-            self._completed.discard(self._completed_order.popleft())
+        while len(self._closed_order) > max_remembered:
+            self._closed.discard(self._closed_order.popleft())
 
     def _evict(self, seq: int) -> None:
-        entry = self._table.pop(seq, None)
-        if entry is not None:
-            if self.tracer is not None:
-                self.tracer.event(
-                    "reassembly_evict", seq=seq, shares=len(entry.shares), k=entry.k
-                )
-            self._drop_entry(entry, cancel_timer=False)
+        entry = self._table.get(seq)
+        if entry is None:
+            return
+        if self.repair_policy is not None:
+            extension = self.repair_policy(entry)
+            if extension is not None:
+                # The repair hook NACKed the missing shares; keep the
+                # entry alive long enough for the retransmission.
+                self.stats.repair_extensions += 1
+                entry.evict_event = self.engine.schedule(extension, self._evict, seq)
+                return
+        del self._table[seq]
+        if self.tracer is not None:
+            self.tracer.event(
+                "reassembly_evict", seq=seq, shares=len(entry.shares), k=entry.k
+            )
+        self._drop_entry(entry, cancel_timer=False)
 
     def _drop_entry(self, entry: _Entry, cancel_timer: bool = True) -> None:
         if cancel_timer and entry.evict_event is not None:

@@ -1,0 +1,147 @@
+"""The sender side of the bounded repair path.
+
+The receiver NACKs a symbol that hits timeout eviction holding
+``1 <= received < k`` shares (see the repair hook in
+:mod:`repro.protocol.receiver`).  On the sender, a bounded buffer
+remembers the last ``repair_buffer_limit`` transmitted symbols; a NACK
+whose symbol is still buffered yields a :class:`RepairJob`: the missing
+share indices (exactly enough to reach k), scheduled after an exponential
+backoff with deterministic seeded jitter.
+
+Two bounds keep repair from amplifying load: a per-symbol retry budget,
+and the buffer itself (symbols evicted from it are beyond repair).  Only
+*original* shares are ever retransmitted -- repair never performs a fresh
+split and never sends more distinct indices than the original m, so the
+adversary's view is a subset of what a loss-free run would have shown
+(docs/RESILIENCE.md).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.protocol.resilience.config import ResilienceConfig
+from repro.sharing.base import Share
+
+
+@dataclass(frozen=True)
+class RepairJob:
+    """One scheduled retransmission for a NACKed symbol.
+
+    Attributes:
+        seq: symbol sequence number.
+        k: threshold.
+        m: multiplicity of the original transmission.
+        offered_at: when the symbol entered the sender (delay accounting).
+        send_at: sim time the retransmission should happen.
+        round: 1-based repair round for this symbol.
+        shares: ``(index, share)`` pairs to resend; ``share`` is ``None``
+            in synthetic mode (header-only datagrams).
+    """
+
+    seq: int
+    k: int
+    m: int
+    offered_at: float
+    send_at: float
+    round: int
+    shares: Tuple[Tuple[int, Optional[Share]], ...]
+
+
+class _BufferedSymbol:
+    __slots__ = ("seq", "k", "m", "offered_at", "shares", "rounds", "next_ok_at")
+
+    def __init__(
+        self, seq: int, k: int, m: int, offered_at: float,
+        shares: Tuple[Optional[Share], ...],
+    ):
+        self.seq = seq
+        self.k = k
+        self.m = m
+        self.offered_at = offered_at
+        self.shares = shares  # position i holds share index i+1
+        self.rounds = 0
+        self.next_ok_at = 0.0
+
+
+class RepairBuffer:
+    """Bounded memory of sent symbols, serving NACKs into repair jobs.
+
+    Args:
+        config: resilience tunables (buffer bound, budget, backoff).
+        rng: seeded stream for retransmission jitter.
+    """
+
+    def __init__(self, config: ResilienceConfig, rng: np.random.Generator):
+        self.config = config
+        self.rng = rng
+        self.unknown_nacks = 0
+        self.budget_exhausted = 0
+        self.duplicate_nacks = 0
+        self._symbols: "OrderedDict[int, _BufferedSymbol]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._symbols)
+
+    def remember(
+        self,
+        seq: int,
+        k: int,
+        m: int,
+        offered_at: float,
+        shares: Sequence[Optional[Share]],
+    ) -> None:
+        """Buffer one transmitted symbol, evicting the oldest when full."""
+        while len(self._symbols) >= self.config.repair_buffer_limit:
+            self._symbols.popitem(last=False)
+        self._symbols[seq] = _BufferedSymbol(seq, k, m, offered_at, tuple(shares))
+
+    def handle_nack(self, now: float, seq: int, have: Sequence[int]) -> Optional[RepairJob]:
+        """Turn a NACK into a repair job, or None if repair is not possible.
+
+        ``None`` outcomes are counted by cause: the symbol fell out of the
+        buffer (``unknown_nacks``), its retry budget ran out
+        (``budget_exhausted``), or a duplicate NACK arrived before the
+        previous round's send time (``duplicate_nacks``).
+        """
+        symbol = self._symbols.get(seq)
+        if symbol is None:
+            self.unknown_nacks += 1
+            return None
+        if symbol.rounds >= self.config.repair_retry_budget:
+            self.budget_exhausted += 1
+            return None
+        if now < symbol.next_ok_at:
+            self.duplicate_nacks += 1
+            return None
+        held = frozenset(have)
+        missing = [index for index in range(1, symbol.m + 1) if index not in held]
+        needed = symbol.k - len(held)
+        if needed <= 0 or not missing:
+            self.duplicate_nacks += 1
+            return None
+        delay = self.config.repair_backoff * (
+            self.config.repair_backoff_factor ** symbol.rounds
+        )
+        jitter = float(self.rng.random()) * self.config.repair_jitter * delay
+        send_at = now + delay + jitter
+        symbol.rounds += 1
+        symbol.next_ok_at = send_at
+        picked = missing[:needed]
+        return RepairJob(
+            seq=seq,
+            k=symbol.k,
+            m=symbol.m,
+            offered_at=symbol.offered_at,
+            send_at=send_at,
+            round=symbol.rounds,
+            shares=tuple((index, symbol.shares[index - 1]) for index in picked),
+        )
+
+    def forget(self, seq: int) -> None:
+        """Drop a symbol from the buffer (e.g. once delivered)."""
+        self._symbols.pop(seq, None)

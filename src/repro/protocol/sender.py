@@ -47,6 +47,10 @@ class SenderStats:
     #: Times the head symbol found fewer ready channels than it needed and
     #: had to wait for a writable notification (scheduler back-pressure).
     readiness_stalls: int = 0
+    #: Symbols refused while admission was paused (the resilience layer's
+    #: DEGRADED mode: no feasible schedule survives, so rather than leak
+    #: under a weaker threshold the sender sheds load at the source).
+    admission_paused_drops: int = 0
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
@@ -101,6 +105,14 @@ class ShareSender:
         #: Structured tracer attached by :mod:`repro.obs.instrument`; when
         #: set, every transmitted symbol emits a ``share_tx`` span.
         self.tracer = None
+        #: When True (the resilience layer's DEGRADED mode), offered
+        #: symbols are refused at the source queue instead of being sent
+        #: under an infeasible schedule.
+        self.admission_paused = False
+        #: Optional hook ``(seq, k, m, offered_at, shares)`` called after
+        #: every transmitted symbol; the resilience layer uses it to fill
+        #: the repair buffer.
+        self.on_transmit = None
         self._source: Deque[_PendingSymbol] = deque()
         self._next_seq = 0
         self._cpu_busy = False
@@ -130,6 +142,9 @@ class ShareSender:
             )
         if payload is None and not self.config.share_synthetic:
             raise ValueError("payload required unless share_synthetic is enabled")
+        if self.admission_paused:
+            self.stats.admission_paused_drops += 1
+            return False
         if len(self._source) >= self.config.source_queue_limit:
             self.stats.source_drops += 1
             return False
@@ -138,6 +153,21 @@ class ShareSender:
         self._source.append(symbol)
         self._pump()
         return True
+
+    def resample_head(self) -> None:
+        """Drop the head symbol's sticky parameters and re-pump.
+
+        Sampled parameters normally stick while a symbol waits.  After a
+        failover swaps the sampler, the head may be waiting on a subset
+        containing a quarantined channel (a head-of-line stall that would
+        only clear when the dead channel recovers); re-sampling under the
+        new schedule lets it proceed over the survivors.
+        """
+        if self._source:
+            head = self._source[0]
+            head.k = head.m = None
+            head.subset = None
+        self._pump()
 
     # -- the pipeline -------------------------------------------------------------
 
@@ -221,3 +251,5 @@ class ShareSender:
             else:  # pragma: no cover - ports were checked writable
                 self.stats.share_send_failures += 1
         self.stats.symbols_sent += 1
+        if self.on_transmit is not None:
+            self.on_transmit(symbol.seq, symbol.k, symbol.m, symbol.offered_at, shares)

@@ -1,4 +1,4 @@
-"""Wire format for share packets.
+"""Wire format for share packets and resilience control messages.
 
 Each share travels in a fixed 16-byte header followed by the share payload.
 The header carries everything the receiver's reassembly buffer needs to
@@ -21,13 +21,27 @@ offset  size  field
 The 16-byte header over a 1250-byte symbol is the protocol's intrinsic
 ~1.3% rate overhead; together with scheduling slack it accounts for the
 "within 3-4% of optimal" gap the paper reports.
+
+The resilience layer (:mod:`repro.protocol.resilience`) adds small
+*control* packets under a distinct magic (0x5243, "RC") so they can never
+be confused with share traffic:
+
+* ``PROBE``/``PROBE_ACK`` -- liveness probes that gate reinstatement of a
+  quarantined channel (``>HBBBQ``: magic, version, type, channel, nonce).
+* ``NACK`` -- the receiver's bounded repair request for a symbol that hit
+  timeout eviction with ``1 <= received < k`` shares (``>HBBQBBB`` plus
+  one byte per already-held share index).
+
+Control packets carry share *indices*, never share material, so an
+eavesdropper on fewer than k channels learns nothing new from them (see
+docs/RESILIENCE.md for the privacy argument).
 """
 
 from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Iterable, Tuple
 
 from repro.sharing.base import Share
 
@@ -37,6 +51,15 @@ HEADER_SIZE = 16
 _MAGIC = 0x5253
 _VERSION = 1
 _STRUCT = struct.Struct(">HBBQBBBB")
+
+#: Magic for resilience control packets (0x5243, "RC").
+CONTROL_MAGIC = 0x5243
+#: Control message types.
+CTRL_PROBE = 1
+CTRL_PROBE_ACK = 2
+CTRL_NACK = 3
+_CTRL_PROBE_STRUCT = struct.Struct(">HBBBQ")
+_CTRL_NACK_STRUCT = struct.Struct(">HBBQBBB")
 
 #: Scheme ids carried on the wire.  Ramp schemes occupy ids 16 + L so the
 #: receiver can recover the block parameter from the id alone.
@@ -104,3 +127,108 @@ def decode_share(packet: bytes) -> Tuple[ShareHeader, Share]:
     except ValueError as exc:
         raise WireFormatError(str(exc)) from exc
     return header, share
+
+
+# -- resilience control messages ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ControlMessage:
+    """A decoded resilience control packet.
+
+    Attributes:
+        kind: one of :data:`CTRL_PROBE`, :data:`CTRL_PROBE_ACK`,
+            :data:`CTRL_NACK`.
+        channel: probed channel index (probe kinds; 0 for NACK).
+        nonce: probe sequence number, echoed by the ack (probe kinds).
+        seq: symbol sequence number (NACK only).
+        k: symbol threshold (NACK only).
+        m: symbol multiplicity (NACK only).
+        have: share indices the receiver already holds (NACK only).
+    """
+
+    kind: int
+    channel: int = 0
+    nonce: int = 0
+    seq: int = 0
+    k: int = 0
+    m: int = 0
+    have: Tuple[int, ...] = ()
+
+
+def encode_probe(channel: int, nonce: int) -> bytes:
+    """Serialise a liveness probe for ``channel``."""
+    return _encode_probe_kind(CTRL_PROBE, channel, nonce)
+
+
+def encode_probe_ack(channel: int, nonce: int) -> bytes:
+    """Serialise the acknowledgement echoing probe ``nonce``."""
+    return _encode_probe_kind(CTRL_PROBE_ACK, channel, nonce)
+
+
+def _encode_probe_kind(kind: int, channel: int, nonce: int) -> bytes:
+    if not 0 <= channel <= 255:
+        raise ValueError(f"channel out of range: {channel}")
+    if not 0 <= nonce < 2**64:
+        raise ValueError(f"nonce out of range: {nonce}")
+    return _CTRL_PROBE_STRUCT.pack(CONTROL_MAGIC, _VERSION, kind, channel, nonce)
+
+
+def encode_nack(seq: int, k: int, m: int, have: Iterable[int]) -> bytes:
+    """Serialise a repair NACK for symbol ``seq``.
+
+    ``have`` lists the share indices the receiver already holds; the
+    sender retransmits from the complement.  Indices only -- a NACK never
+    carries share material.
+    """
+    if not 0 <= seq < 2**64:
+        raise ValueError(f"sequence number out of range: {seq}")
+    if not 1 <= k <= 255 or not 1 <= m <= 255:
+        raise ValueError(f"header fields out of range: k={k}, m={m}")
+    indices = sorted(set(have))
+    if any(not 1 <= index <= m for index in indices):
+        raise ValueError(f"share indices out of range 1..{m}: {indices}")
+    if not 1 <= len(indices) < k:
+        raise ValueError(
+            f"a NACK needs 1 <= held shares < k, got {len(indices)} with k={k}"
+        )
+    header = _CTRL_NACK_STRUCT.pack(CONTROL_MAGIC, _VERSION, CTRL_NACK, seq, k, m, len(indices))
+    return header + bytes(indices)
+
+
+def is_control(packet: bytes) -> bool:
+    """Whether ``packet`` starts with the control magic."""
+    return len(packet) >= 2 and int.from_bytes(packet[:2], "big") == CONTROL_MAGIC
+
+
+def decode_control(packet: bytes) -> ControlMessage:
+    """Parse a control packet.
+
+    Raises:
+        WireFormatError: for truncated packets, bad magic, unsupported
+            versions, unknown control types, or inconsistent NACK fields.
+    """
+    if len(packet) < 4:
+        raise WireFormatError(f"control packet of {len(packet)} bytes is too short")
+    magic, version, kind = struct.unpack_from(">HBB", packet)
+    if magic != CONTROL_MAGIC:
+        raise WireFormatError(f"bad control magic 0x{magic:04x}")
+    if version != _VERSION:
+        raise WireFormatError(f"unsupported version {version}")
+    if kind in (CTRL_PROBE, CTRL_PROBE_ACK):
+        if len(packet) < _CTRL_PROBE_STRUCT.size:
+            raise WireFormatError(f"truncated probe packet of {len(packet)} bytes")
+        _, _, _, channel, nonce = _CTRL_PROBE_STRUCT.unpack_from(packet)
+        return ControlMessage(kind=kind, channel=channel, nonce=nonce)
+    if kind == CTRL_NACK:
+        if len(packet) < _CTRL_NACK_STRUCT.size:
+            raise WireFormatError(f"truncated NACK packet of {len(packet)} bytes")
+        _, _, _, seq, k, m, count = _CTRL_NACK_STRUCT.unpack_from(packet)
+        body = packet[_CTRL_NACK_STRUCT.size:]
+        if len(body) < count:
+            raise WireFormatError(f"NACK lists {count} indices but carries {len(body)}")
+        have = tuple(body[:count])
+        if any(not 1 <= index <= m for index in have):
+            raise WireFormatError(f"NACK share indices out of range 1..{m}: {have}")
+        return ControlMessage(kind=kind, seq=seq, k=k, m=m, have=have)
+    raise WireFormatError(f"unknown control type {kind}")

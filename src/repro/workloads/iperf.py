@@ -16,14 +16,21 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.channel import ChannelSet
+from repro.core.planner import Requirements
 from repro.core.schedule import ShareSchedule
 from repro.netsim.faults import FaultPlan
 from repro.netsim.host import CpuModel
 from repro.netsim.rng import RngRegistry
 from repro.netsim.trace import DelayStats, RateMeter
-from repro.obs.instrument import Observability, instrument_network, instrument_node
+from repro.obs.instrument import (
+    Observability,
+    instrument_network,
+    instrument_node,
+    instrument_resilience,
+)
 from repro.protocol.config import ProtocolConfig
 from repro.protocol.remicss import PointToPointNetwork
+from repro.protocol.resilience import ResilienceConfig, ResilienceManager
 from repro.workloads.setups import delay_to_ms, rate_to_mbps
 
 
@@ -45,6 +52,9 @@ class IperfResult:
             measurement window (unit times).
         fault_summary: applied fault-event summary when a fault plan was
             injected, else ``None``.
+        resilience_summary: resilience-layer summary (quarantines,
+            failovers, repair counters, transitions) when the layer was
+            enabled, else ``None``.
     """
 
     achieved_rate: float
@@ -57,6 +67,7 @@ class IperfResult:
     receiver_stats: dict
     delay_stats: DelayStats = field(default_factory=DelayStats)
     fault_summary: Optional[dict] = None
+    resilience_summary: Optional[dict] = None
 
     @property
     def achieved_mbps(self) -> float:
@@ -102,6 +113,8 @@ def run_iperf(
     queue_limit: int = 16,
     fault_plan: Optional[FaultPlan] = None,
     obs: Optional[Observability] = None,
+    resilience: Optional[ResilienceConfig] = None,
+    requirements: Optional[Requirements] = None,
 ) -> IperfResult:
     """Run one iperf-style measurement and return its results.
 
@@ -126,6 +139,13 @@ def run_iperf(
             when given, the network, fault injector and both protocol
             nodes are instrumented and the caller snapshots
             ``obs.registry`` after the run (see docs/OBSERVABILITY.md).
+        resilience: optional resilience tunables; when given, a
+            :class:`~repro.protocol.resilience.ResilienceManager` protects
+            the A -> B direction (quarantine, failover, repair -- see
+            docs/RESILIENCE.md).
+        requirements: deployment bounds for the resilience layer's LP
+            failover; without them failover masks the dynamic selector
+            instead of re-planning.
     """
     if offered_rate <= 0:
         raise ValueError(f"offered_rate must be positive, got {offered_rate}")
@@ -150,10 +170,18 @@ def run_iperf(
         sender_cpu=sender_cpu,
         receiver_cpu=receiver_cpu,
     )
+    manager = None
+    if resilience is not None:
+        manager = ResilienceManager(
+            network, node_a, node_b, config, resilience, registry,
+            requirements=requirements,
+        )
     if obs is not None:
         instrument_network(obs, network)
         instrument_node(obs, node_a)
         instrument_node(obs, node_b)
+        if manager is not None:
+            instrument_resilience(obs, manager)
 
     meter = RateMeter()
     delays = DelayStats()
@@ -205,4 +233,5 @@ def run_iperf(
         receiver_stats=node_b.receiver.stats.as_dict(),
         delay_stats=delays,
         fault_summary=injector.summary() if injector is not None else None,
+        resilience_summary=manager.summary() if manager is not None else None,
     )

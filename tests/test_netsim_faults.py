@@ -142,6 +142,42 @@ class TestFaultPlan:
         with pytest.raises(ValueError):
             FaultPlan.from_spec([{"time": 1.0, "action": "set_loss", "loss": 2.0}])
 
+    def test_json_roundtrip_covers_every_action_kind(self):
+        """Satellite: every event kind survives to_json -> from_json with
+        its parameters intact, so persisted chaos plans replay exactly."""
+        from repro.netsim.faults import ACTIONS, FaultEvent
+
+        events = [
+            FaultEvent(1.0, "link_down", channel=0, direction="fwd"),
+            FaultEvent(2.0, "link_up", channel=0, direction="fwd"),
+            FaultEvent(3.0, "set_loss", channel=1, params={"loss": 0.25}),
+            FaultEvent(4.0, "set_delay", channel=1, params={"delay": 0.5}),
+            FaultEvent(5.0, "set_jitter", channel=2, params={"jitter": 0.1}),
+            FaultEvent(6.0, "set_rate", channel=2, params={"scale": 0.5}),
+            FaultEvent(
+                7.0, "burst_start", channel=3,
+                params={"p_bad": 0.1, "p_good": 0.5, "loss_bad": 0.9},
+            ),
+            FaultEvent(8.0, "burst_stop", channel=3),
+            FaultEvent(9.0, "partition", channel=None),
+            FaultEvent(10.0, "heal", channel=None),
+        ]
+        assert sorted(e.action for e in events) == sorted(ACTIONS)
+        plan = FaultPlan(events)
+        rebuilt = FaultPlan.from_json(plan.to_json())
+        assert rebuilt.to_spec() == plan.to_spec()
+        for original, copy in zip(plan.sorted_events(), rebuilt.sorted_events()):
+            assert (copy.time, copy.action, copy.channel) == (
+                original.time, original.action, original.channel,
+            )
+            assert copy.direction == original.direction
+            assert copy.params == original.params
+
+    def test_from_json_rejects_unknown_kind(self):
+        text = '[{"time": 1.0, "action": "meteor_strike"}]'
+        with pytest.raises(ValueError, match="unknown fault action"):
+            FaultPlan.from_json(text)
+
     def test_canonical_registry(self):
         assert set(CANONICAL_SCENARIOS) == {
             "flap", "burst", "delay_spike", "rate_cut", "partition_heal",

@@ -138,3 +138,38 @@ class TestAdaptation:
         count = len(controller.history)
         network.engine.run_until(10.0)
         assert len(controller.history) == count
+
+    def test_partition_turns_reviews_infeasible_until_heal(self):
+        """Regression: downed links neither serialize nor loss-drop, so
+        the loss estimator used to keep its pre-outage estimates and the
+        controller kept planning over dead channels.  An outage must be
+        observed as total loss, make reviews infeasible, and decay back
+        after the heal."""
+        from repro.netsim.faults import FaultEvent, FaultPlan
+
+        network, node_a, _, controller = build(
+            lambda i: False, Requirements(max_loss=0.05), seed=6
+        )
+        engine = network.engine
+        network.apply_faults(FaultPlan([
+            FaultEvent(3.0, "partition", None),
+            FaultEvent(8.0, "heal", None),
+        ]))
+
+        def offer():
+            node_a.send(None)
+            if engine.now < 24.0:
+                engine.schedule(0.02, offer)
+
+        engine.schedule_at(0.0, offer)
+        engine.run_until(25.0)
+        records = {round(r.time): r for r in controller.history}
+        assert records[2].feasible
+        # The outage is visible in the loss estimates and the plan search.
+        assert not records[6].feasible
+        assert all(loss > 0.5 for loss in records[6].losses)
+        # The last feasible plan is held rather than replaced.
+        assert controller.current_plan is not None
+        # After the heal the EWMA decays and planning recovers.
+        assert records[24].feasible
+        assert all(loss < 0.05 for loss in records[24].losses)

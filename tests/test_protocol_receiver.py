@@ -136,6 +136,67 @@ class TestEviction:
         buf.handle_datagram(share_datagrams(3, b"x", 2, 2, seed=3)[1])
         assert [d[0] for d in deliveries] == [2, 3]
 
+    def test_capacity_eviction_remembers_closed_seq(self):
+        """Regression: a capacity eviction is a deliberate close, so a
+        straggler for the evicted symbol must count as late instead of
+        re-opening an entry that can never complete (which would evict
+        yet another live symbol at the memory bound)."""
+        engine = Engine()
+        deliveries = []
+        buf = make_buffer(engine, deliveries, limit=2)
+        datagrams = {
+            seq: share_datagrams(seq, b"x", 2, 3, seed=seq) for seq in (1, 2, 3)
+        }
+        for seq in (1, 2, 3):
+            buf.handle_datagram(datagrams[seq][0])
+        assert buf.stats.evicted_symbols == 1  # seq 1 fell off the front
+        late_before = buf.stats.late_shares
+        buf.handle_datagram(datagrams[1][1])
+        assert buf.stats.late_shares == late_before + 1
+        assert buf.pending == 2  # no fresh entry, nothing else evicted
+        assert buf.stats.evicted_symbols == 1
+        # The live symbols still complete normally.
+        buf.handle_datagram(datagrams[2][1])
+        buf.handle_datagram(datagrams[3][1])
+        assert [d[0] for d in deliveries] == [2, 3]
+
+    def test_repair_policy_extends_timeout_once(self):
+        engine = Engine()
+        deliveries = []
+        buf = make_buffer(engine, deliveries, timeout=2.0)
+        grants = []
+
+        def policy(entry):
+            if entry.repair_rounds >= 1:
+                return None  # budget spent: let the eviction proceed
+            entry.repair_rounds += 1
+            grants.append(entry.seq)
+            return 1.5
+
+        buf.repair_policy = policy
+        datagrams = share_datagrams(1, b"fixed", 2, 3)
+        buf.handle_datagram(datagrams[0])
+        engine.run_until(2.5)  # past the base timeout, inside the extension
+        assert grants == [1]
+        assert buf.stats.repair_extensions == 1
+        assert buf.stats.evicted_symbols == 0
+        assert buf.pending == 1
+        engine.schedule_at(3.0, buf.handle_datagram, datagrams[1])
+        engine.run_until(10.0)
+        assert [d[0] for d in deliveries] == [1]
+        assert buf.stats.repair_recovered == 1
+
+    def test_repair_policy_exhausted_evicts(self):
+        engine = Engine()
+        deliveries = []
+        buf = make_buffer(engine, deliveries, timeout=2.0)
+        buf.repair_policy = lambda entry: None
+        buf.handle_datagram(share_datagrams(1, b"gone", 2, 3)[0])
+        engine.run_until(3.0)
+        assert buf.stats.repair_extensions == 0
+        assert buf.stats.evicted_symbols == 1
+        assert buf.pending == 0
+
 
 class TestSyntheticMode:
     def test_counts_headers_without_payload(self):

@@ -1,0 +1,113 @@
+"""The resilience control-plane wire format: probes, acks, NACKs."""
+
+import pytest
+
+from repro.protocol.wire import (
+    CONTROL_MAGIC,
+    CTRL_NACK,
+    CTRL_PROBE,
+    CTRL_PROBE_ACK,
+    WireFormatError,
+    decode_control,
+    encode_nack,
+    encode_probe,
+    encode_probe_ack,
+    encode_share,
+    is_control,
+)
+from repro.sharing.base import Share
+
+
+class TestProbeRoundtrip:
+    def test_probe(self):
+        message = decode_control(encode_probe(channel=3, nonce=42))
+        assert message.kind == CTRL_PROBE
+        assert message.channel == 3
+        assert message.nonce == 42
+
+    def test_probe_ack_echoes_nonce(self):
+        message = decode_control(encode_probe_ack(channel=0, nonce=2**63))
+        assert message.kind == CTRL_PROBE_ACK
+        assert message.channel == 0
+        assert message.nonce == 2**63
+
+    def test_field_ranges(self):
+        with pytest.raises(ValueError):
+            encode_probe(channel=256, nonce=0)
+        with pytest.raises(ValueError):
+            encode_probe(channel=0, nonce=2**64)
+
+
+class TestNackRoundtrip:
+    def test_basic(self):
+        message = decode_control(encode_nack(seq=9, k=3, m=5, have=[2, 4]))
+        assert message.kind == CTRL_NACK
+        assert (message.seq, message.k, message.m) == (9, 3, 5)
+        assert message.have == (2, 4)
+
+    def test_have_is_sorted_and_deduped(self):
+        message = decode_control(encode_nack(seq=1, k=3, m=4, have=[3, 1, 3]))
+        assert message.have == (1, 3)
+
+    def test_requires_partial_symbol(self):
+        # A NACK only makes sense for 1 <= held < k: zero shares cannot
+        # identify the symbol, k shares are already completing.
+        with pytest.raises(ValueError):
+            encode_nack(seq=1, k=2, m=3, have=[])
+        with pytest.raises(ValueError):
+            encode_nack(seq=1, k=2, m=3, have=[1, 2])
+
+    def test_indices_within_multiplicity(self):
+        with pytest.raises(ValueError):
+            encode_nack(seq=1, k=3, m=3, have=[4])
+
+
+class TestDispatch:
+    def test_control_magic_disjoint_from_share_magic(self):
+        share = Share(index=1, data=b"x" * 4, k=2, m=3)
+        share_packet = encode_share(0, share, "xor-perfect")
+        assert not is_control(share_packet)
+        assert is_control(encode_probe(0, 0))
+        assert is_control(encode_nack(1, 2, 3, [1]))
+        with pytest.raises(WireFormatError):
+            decode_control(share_packet)
+
+
+class TestDecodeErrors:
+    def test_too_short(self):
+        with pytest.raises(WireFormatError):
+            decode_control(b"\x52")
+
+    def test_truncated_probe(self):
+        with pytest.raises(WireFormatError):
+            decode_control(encode_probe(1, 7)[:-1])
+
+    def test_truncated_nack_header(self):
+        with pytest.raises(WireFormatError):
+            decode_control(encode_nack(1, 3, 5, [1])[:10])
+
+    def test_nack_index_list_shorter_than_count(self):
+        packet = encode_nack(1, 3, 5, [1, 2])
+        with pytest.raises(WireFormatError):
+            decode_control(packet[:-1])
+
+    def test_nack_index_out_of_range(self):
+        packet = bytearray(encode_nack(1, 3, 5, [1]))
+        packet[-1] = 6  # > m
+        with pytest.raises(WireFormatError):
+            decode_control(bytes(packet))
+
+    def test_bad_version(self):
+        packet = bytearray(encode_probe(1, 7))
+        packet[2] += 1
+        with pytest.raises(WireFormatError):
+            decode_control(bytes(packet))
+
+    def test_unknown_control_type(self):
+        packet = bytearray(encode_probe(1, 7))
+        packet[3] = 200
+        with pytest.raises(WireFormatError):
+            decode_control(bytes(packet))
+
+    def test_magic_value(self):
+        assert CONTROL_MAGIC == 0x5243  # "RC", disjoint from the share "RS"
