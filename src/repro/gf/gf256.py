@@ -10,6 +10,12 @@ Multiplication uses log/antilog tables over a fixed generator, which makes
 millions of bytes per benchmark run.  The reduction polynomial is the AES
 polynomial ``x^8 + x^4 + x^3 + x + 1`` (0x11b); any irreducible polynomial
 would do, but using a well-known one simplifies cross-checking test vectors.
+
+This scalar implementation doubles as the *reference oracle* for the
+vectorized kernels in :mod:`repro.gf.batch`: the batch path must be
+bit-identical to it (``tests/test_sharing_batch_equiv.py``), and the
+bit-by-bit :func:`_carryless_mul` below is the independent oracle the
+golden-vector suite (``tests/test_gf_vectors.py``) checks both against.
 """
 
 from __future__ import annotations

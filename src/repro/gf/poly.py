@@ -4,6 +4,10 @@ Shamir's scheme is "evaluate a random degree-(k-1) polynomial at m points;
 interpolate any k of them".  This module provides exactly those two
 operations, plus a small :class:`Polynomial` convenience wrapper used by
 tests and examples to reason about the algebra directly.
+
+This is the scalar *reference oracle*: the sharing hot path runs on the
+numpy kernels in :mod:`repro.gf.batch`, and the equivalence suite asserts
+the batch results match this module byte for byte.
 """
 
 from __future__ import annotations

@@ -17,6 +17,11 @@ paper's protocol model builds on (Sec. II-B and III-C):
 All schemes implement :class:`~repro.sharing.base.SecretSharingScheme` and
 operate on ``bytes`` secrets, producing :class:`~repro.sharing.base.Share`
 objects tagged with their index and the (k, m) parameters used.
+
+The GF(2^8) schemes run on the vectorized kernels in
+:mod:`repro.gf.batch` (whole-batch polynomial evaluation and Lagrange
+interpolation); :mod:`repro.sharing.reference` keeps the byte-at-a-time
+scalar oracle they are tested bit-identical against.
 """
 
 from repro.sharing.base import (

@@ -143,3 +143,28 @@ class SecretSharingScheme(abc.ABC):
         except ValueError:
             return False
         return True
+
+    def split_many(
+        self,
+        secrets: Sequence[bytes],
+        k: int,
+        m: int,
+        rng: np.random.Generator,
+    ) -> "list[list[Share]]":
+        """Split a batch of secrets; element ``i`` is the shares of ``secrets[i]``.
+
+        The default draws randomness per secret in order, so it is
+        bit-identical to looping over :meth:`split` with the same rng.
+        Vectorized schemes override this to amortize the field arithmetic
+        across the whole batch while preserving that exact draw order.
+        """
+        return [self.split(secret, k, m, rng) for secret in secrets]
+
+    def reconstruct_many(self, groups: "Sequence[Sequence[Share]]") -> "list[bytes]":
+        """Reconstruct many share groups; output order matches input order.
+
+        Same bit-identical contract as :meth:`split_many`: overrides may
+        batch the arithmetic but must return exactly what a per-group
+        :meth:`reconstruct` loop would.
+        """
+        return [self.reconstruct(group) for group in groups]

@@ -34,6 +34,7 @@ from typing import List, Sequence
 
 import numpy as np
 
+from repro.gf.batch import eval_poly_at_points, gf_mul_vec
 from repro.sharing.base import (
     ReconstructionError,
     SecretSharingScheme,
@@ -41,7 +42,7 @@ from repro.sharing.base import (
     check_share_group,
     validate_parameters,
 )
-from repro.sharing.shamir import _gf_inv, _gf_mul, _mul_vec_scalar
+from repro.sharing.shamir import _gf_inv, _gf_mul, _share_matrix
 
 _LENGTH = struct.Struct(">I")
 
@@ -127,21 +128,21 @@ class RampScheme(SecretSharingScheme):
         body = _LENGTH.pack(len(secret)) + secret
         size = self.share_size(len(secret))
         body = body.ljust(size * self.blocks, b"\0")
-        blocks = [
-            np.frombuffer(body[j * size : (j + 1) * size], dtype=np.uint8)
-            for j in range(self.blocks)
-        ]
-        coeffs = list(blocks)
+        # Coefficient matrix: rows 0..L-1 are the secret blocks, rows
+        # L..k-1 a single uniform draw; one Horner pass covers all m points.
+        coeffs = np.empty((k, size), dtype=np.uint8)
+        coeffs[: self.blocks] = np.frombuffer(body, dtype=np.uint8).reshape(
+            self.blocks, size
+        )
         if k > self.blocks:
-            coeffs.extend(rng.integers(0, 256, size=(k - self.blocks, size), dtype=np.uint8))
-        shares = []
-        for x in range(1, m + 1):
-            acc = coeffs[-1].copy()
-            for j in range(k - 2, -1, -1):
-                acc = _mul_vec_scalar(acc, x)
-                np.bitwise_xor(acc, coeffs[j], out=acc)
-            shares.append(Share(index=x, data=acc.tobytes(), k=k, m=m))
-        return shares
+            coeffs[self.blocks :] = rng.integers(
+                0, 256, size=(k - self.blocks, size), dtype=np.uint8
+            )
+        evaluations = eval_poly_at_points(coeffs, np.arange(1, m + 1, dtype=np.uint8))
+        return [
+            Share(index=x, data=evaluations[x - 1].tobytes(), k=k, m=m)
+            for x in range(1, m + 1)
+        ]
 
     def reconstruct(self, shares: Sequence[Share]) -> bytes:
         k = check_share_group(shares)
@@ -150,22 +151,14 @@ class RampScheme(SecretSharingScheme):
             raise ReconstructionError(
                 f"ramp with L={self.blocks} blocks cannot have threshold {k}"
             )
-        lengths = {len(share.data) for share in group}
-        if len(lengths) != 1:
-            raise ReconstructionError(f"shares have inconsistent lengths: {sorted(lengths)}")
-        size = lengths.pop()
+        matrix = _share_matrix(group)
         xs = [share.index for share in group]
         inverse_rows = _vandermonde_inverse_rows(xs, self.blocks)
-        blocks = []
-        for row in inverse_rows:
-            acc = np.zeros(size, dtype=np.uint8)
-            for weight, share in zip(row, group):
-                if weight == 0:
-                    continue
-                term = _mul_vec_scalar(np.frombuffer(share.data, dtype=np.uint8), weight)
-                np.bitwise_xor(acc, term, out=acc)
-            blocks.append(acc.tobytes())
-        body = b"".join(blocks)
+        # Apply the L x k inverse-Vandermonde block to every byte position
+        # at once: blocks[l] = xor_i rows[l, i] * share_i.
+        rows = np.array(inverse_rows, dtype=np.uint8)
+        products = gf_mul_vec(rows[:, :, None], matrix[None, :, :])
+        body = np.bitwise_xor.reduce(products, axis=1).tobytes()
         if len(body) < _LENGTH.size:
             raise ReconstructionError("ramp shares too short to carry a length prefix")
         (length,) = _LENGTH.unpack_from(body)

@@ -32,8 +32,9 @@ from typing import FrozenSet, Sequence
 
 import numpy as np
 
+from repro.gf.batch import lagrange_interpolate
 from repro.sharing.base import ReconstructionError, Share, check_share_group
-from repro.sharing.shamir import _gf_inv, _gf_mul, _mul_vec_scalar
+from repro.sharing.shamir import _share_matrix
 
 
 def max_correctable_errors(num_shares: int, k: int) -> int:
@@ -46,26 +47,16 @@ def max_correctable_errors(num_shares: int, k: int) -> int:
 def evaluate_shares_at(shares: Sequence[Share], x: int) -> bytes:
     """Evaluate the Shamir polynomial defined by ``shares`` at point ``x``.
 
-    Vectorised Lagrange evaluation over all byte positions; with ``x = 0``
-    this is ordinary reconstruction, with ``x = j`` it predicts what share
-    j *should* contain -- the verification primitive of the robust decoder.
+    Batched Lagrange evaluation over all byte positions at once (via
+    :mod:`repro.gf.batch`); with ``x = 0`` this is ordinary reconstruction,
+    with ``x = j`` it predicts what share j *should* contain -- the
+    verification primitive of the robust decoder.
     """
     xs = [share.index for share in shares]
     if len(set(xs)) != len(xs):
         raise ReconstructionError(f"duplicate share indices: {sorted(xs)}")
-    size = len(shares[0].data)
-    result = np.zeros(size, dtype=np.uint8)
-    for i, share in enumerate(shares):
-        coeff = 1
-        for j, xj in enumerate(xs):
-            if i == j:
-                continue
-            # Lagrange basis at x: prod (x - x_j) / (x_i - x_j); subtraction
-            # is XOR in characteristic 2.
-            coeff = _gf_mul(coeff, _gf_mul(x ^ xj, _gf_inv(xs[i] ^ xj)))
-        term = _mul_vec_scalar(np.frombuffer(share.data, dtype=np.uint8), coeff)
-        np.bitwise_xor(result, term, out=result)
-    return result.tobytes()
+    matrix = _share_matrix(list(shares))
+    return lagrange_interpolate(np.array(xs, dtype=np.uint8), matrix, x).tobytes()
 
 
 @dataclass(frozen=True)

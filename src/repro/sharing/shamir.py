@@ -1,4 +1,4 @@
-"""Shamir's threshold scheme over GF(2^8), vectorised byte-wise.
+"""Shamir's threshold scheme over GF(2^8), batched over whole datagrams.
 
 Each byte of the secret is an independent GF(2^8) secret: byte ``b`` of
 share ``i`` is ``f_b(i)`` where ``f_b`` is a random degree-(k-1) polynomial
@@ -6,9 +6,15 @@ with constant term ``secret[b]``.  Every share therefore has exactly the
 length of the secret, which is the optimal ``H(Y) = H(X)`` case the paper's
 rate model assumes (Sec. III-C).
 
-The per-byte arithmetic is vectorised with numpy log/antilog table lookups
-so the reference protocol can share full datagrams at simulator speed.  A
-scalar path through :mod:`repro.gf` exists for cross-checking in tests.
+``split`` evaluates *all m share points for all payload bytes* in one
+vectorized Horner pass over a ``(k, n)`` coefficient matrix, and
+``reconstruct`` interpolates the whole byte batch with one batched Lagrange
+evaluation -- both through :mod:`repro.gf.batch`.  Coefficient sampling is
+amortized into a single ``rng.integers`` draw.  The scalar path through
+:mod:`repro.gf` (exposed as :mod:`repro.sharing.reference`) is the
+reference oracle: the batch kernels are bit-identical to it byte for byte,
+which ``tests/test_sharing_batch_equiv.py`` and the golden vectors in
+``tests/test_gf_vectors.py`` pin down.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ from typing import List, Sequence
 
 import numpy as np
 
+from repro.gf.batch import eval_poly_at_points, lagrange_interpolate
 from repro.gf.gf256 import _EXP, _LOG
 from repro.sharing.base import (
     ReconstructionError,
@@ -26,30 +33,31 @@ from repro.sharing.base import (
     validate_parameters,
 )
 
-# Doubled antilog table lets us index EXP[log a + log b] without a modulo.
-_NP_EXP = np.array(_EXP + _EXP, dtype=np.uint8)
-_NP_LOG = np.array([0] + _LOG[1:], dtype=np.int32)  # log[0] is unused
-
-
-def _mul_vec_scalar(vec: np.ndarray, scalar: int) -> np.ndarray:
-    """Multiply a uint8 vector by a GF(2^8) scalar, element-wise."""
-    if scalar == 0:
-        return np.zeros_like(vec)
-    out = _NP_EXP[_NP_LOG[vec] + _LOG[scalar]]
-    # log tables cannot represent zero; mask zero inputs back to zero.
-    return np.where(vec == 0, 0, out)
-
 
 def _gf_inv(a: int) -> int:
+    """Scalar GF(2^8) inverse (used by the ramp scheme's linear algebra)."""
     if a == 0:
         raise ZeroDivisionError("inverse of zero in GF(256)")
     return _EXP[(255 - _LOG[a]) % 255]
 
 
 def _gf_mul(a: int, b: int) -> int:
+    """Scalar GF(2^8) product (used by the ramp scheme's linear algebra)."""
     if a == 0 or b == 0:
         return 0
     return _EXP[(_LOG[a] + _LOG[b]) % 255]
+
+
+def _share_matrix(group: Sequence[Share]) -> np.ndarray:
+    """Stack share payloads into a uint8 ``(t, n)`` matrix, validating lengths."""
+    lengths = {len(s.data) for s in group}
+    if len(lengths) != 1:
+        raise ReconstructionError(f"shares have inconsistent lengths: {sorted(lengths)}")
+    size = lengths.pop()
+    matrix = np.empty((len(group), size), dtype=np.uint8)
+    for i, share in enumerate(group):
+        matrix[i] = np.frombuffer(share.data, dtype=np.uint8)
+    return matrix
 
 
 class ShamirScheme(SecretSharingScheme):
@@ -80,36 +88,98 @@ class ShamirScheme(SecretSharingScheme):
             raise ValueError(f"GF(256) Shamir supports at most {self.MAX_SHARES} shares")
         secret_vec = np.frombuffer(secret, dtype=np.uint8)
         n = len(secret_vec)
-        # coeffs[0] is the secret; coeffs[1..k-1] are uniform random bytes.
-        coeffs = [secret_vec]
+        # coeffs[0] is the secret; coeffs[1..k-1] are uniform random bytes,
+        # drawn once for the whole batch.
+        coeffs = np.empty((k, n), dtype=np.uint8)
+        coeffs[0] = secret_vec
         if k > 1:
-            random_block = rng.integers(0, 256, size=(k - 1, n), dtype=np.uint8)
-            coeffs.extend(random_block)
-        shares = []
-        for x in range(1, m + 1):
-            acc = coeffs[-1].copy()
-            for j in range(k - 2, -1, -1):
-                acc = _mul_vec_scalar(acc, x)
-                np.bitwise_xor(acc, coeffs[j], out=acc)
-            shares.append(Share(index=x, data=acc.tobytes(), k=k, m=m))
-        return shares
+            coeffs[1:] = rng.integers(0, 256, size=(k - 1, n), dtype=np.uint8)
+        # One vectorized Horner pass: row x-1 is share x of every byte.
+        evaluations = eval_poly_at_points(coeffs, np.arange(1, m + 1, dtype=np.uint8))
+        return [
+            Share(index=x, data=evaluations[x - 1].tobytes(), k=k, m=m)
+            for x in range(1, m + 1)
+        ]
 
     def reconstruct(self, shares: Sequence[Share]) -> bytes:
         k = check_share_group(shares)
         group = list(shares)[:k]
-        lengths = {len(s.data) for s in group}
-        if len(lengths) != 1:
-            raise ReconstructionError(f"shares have inconsistent lengths: {sorted(lengths)}")
-        # Lagrange interpolation at x = 0.  In characteristic 2 the basis
-        # coefficient for share i is prod_{j != i} x_j / (x_i ^ x_j).
-        xs = [s.index for s in group]
-        result = np.zeros(lengths.pop(), dtype=np.uint8)
-        for i, share in enumerate(group):
-            coeff = 1
-            for j, xj in enumerate(xs):
-                if i == j:
-                    continue
-                coeff = _gf_mul(coeff, _gf_mul(xj, _gf_inv(xs[i] ^ xj)))
-            term = _mul_vec_scalar(np.frombuffer(share.data, dtype=np.uint8), coeff)
-            np.bitwise_xor(result, term, out=result)
-        return result.tobytes()
+        matrix = _share_matrix(group)
+        xs = np.array([s.index for s in group], dtype=np.uint8)
+        # Batched Lagrange interpolation at x = 0 across every byte position.
+        return lagrange_interpolate(xs, matrix, 0).tobytes()
+
+    def split_many(
+        self,
+        secrets: Sequence[bytes],
+        k: int,
+        m: int,
+        rng: np.random.Generator,
+    ) -> List[List[Share]]:
+        """Split a batch of secrets in one vectorized pass.
+
+        Bit-identical to calling :meth:`split` per secret with the same rng
+        (the random block for each secret is drawn in the same order), but
+        the m-point polynomial evaluation runs once over the concatenated
+        byte batch instead of once per datagram.
+        """
+        validate_parameters(k, m)
+        if m > self.MAX_SHARES:
+            raise ValueError(f"GF(256) Shamir supports at most {self.MAX_SHARES} shares")
+        if not secrets:
+            return []
+        sizes = [len(secret) for secret in secrets]
+        total = sum(sizes)
+        coeffs = np.empty((k, total), dtype=np.uint8)
+        coeffs[0] = np.frombuffer(b"".join(secrets), dtype=np.uint8)
+        if k > 1:
+            # Preserve the per-secret draw order of the scalar loop so the
+            # batch is seed-for-seed identical to sequential split() calls.
+            offset = 0
+            for size in sizes:
+                coeffs[1:, offset : offset + size] = rng.integers(
+                    0, 256, size=(k - 1, size), dtype=np.uint8
+                )
+                offset += size
+        evaluations = eval_poly_at_points(coeffs, np.arange(1, m + 1, dtype=np.uint8))
+        batches: List[List[Share]] = []
+        offset = 0
+        for size in sizes:
+            block = evaluations[:, offset : offset + size]
+            batches.append(
+                [
+                    Share(index=x, data=block[x - 1].tobytes(), k=k, m=m)
+                    for x in range(1, m + 1)
+                ]
+            )
+            offset += size
+        return batches
+
+    def reconstruct_many(self, groups: Sequence[Sequence[Share]]) -> List[bytes]:
+        """Reconstruct many share groups, batching groups with equal geometry.
+
+        Groups whose (share-index tuple, payload length) agree are stacked
+        and interpolated through a single batched Lagrange pass; output
+        order matches the input order and is bit-identical to calling
+        :meth:`reconstruct` per group.
+        """
+        prepared = []
+        for group in groups:
+            k = check_share_group(group)
+            chosen = list(group)[:k]
+            matrix = _share_matrix(chosen)
+            xs = tuple(s.index for s in chosen)
+            prepared.append((xs, matrix))
+        # Bucket by geometry, preserving first-seen bucket order.
+        buckets: "dict[tuple, list[int]]" = {}
+        for position, (xs, matrix) in enumerate(prepared):
+            buckets.setdefault((xs, matrix.shape[1]), []).append(position)
+        results: List[bytes] = [b""] * len(prepared)
+        for (xs, size), positions in buckets.items():
+            stacked = np.concatenate(
+                [prepared[position][1] for position in positions], axis=1
+            )
+            flat = lagrange_interpolate(np.array(xs, dtype=np.uint8), stacked, 0)
+            for slot, position in enumerate(positions):
+                results[position] = flat[slot * size : (slot + 1) * size].tobytes()
+        return results

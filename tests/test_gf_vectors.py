@@ -1,0 +1,193 @@
+"""Golden vectors for GF(256) arithmetic and the Shamir/ramp pipelines.
+
+Two layers of defence against a silent arithmetic regression:
+
+* **Field vectors.**  Fixed AES-polynomial mul/div/pow triples, asserted
+  against the table-driven scalar field, the numpy batch kernels, *and*
+  re-derived at runtime from the independent bit-by-bit
+  :func:`repro.gf.gf256._carryless_mul` oracle (which never touches the
+  log/antilog tables).  A table-construction bug cannot hide from all
+  three at once.
+* **Scheme vectors.**  Committed byte-exact Shamir and ramp shares for a
+  fixed seed and payload, pinned *before* the vectorized rewrite landed.
+  Any change to rng consumption, coefficient layout, or evaluation order
+  shows up here as a hex diff, not as a subtly different privacy model.
+"""
+
+import numpy as np
+
+from repro.gf.batch import gf_div_vec, gf_mul_vec, gf_pow_vec
+from repro.gf.gf256 import GF256_FIELD, _carryless_mul
+from repro.sharing.ramp import RampScheme
+from repro.sharing.reference import scalar_ramp_split, scalar_shamir_split
+from repro.sharing.shamir import ShamirScheme
+
+#: (a, b, a*b) in GF(2^8) under the AES polynomial 0x11b.  The 0x53*0xca=1
+#: pair is the classic AES inverse example (FIPS-197 style).
+MUL_VECTORS = [
+    (0x00, 0x00, 0x00),
+    (0x00, 0x37, 0x00),
+    (0x01, 0xFF, 0xFF),
+    (0x02, 0x80, 0x1B),
+    (0x03, 0xF0, 0x0B),
+    (0x53, 0xCA, 0x01),
+    (0x57, 0x83, 0xC1),
+    (0x57, 0x13, 0xFE),
+    (0xFF, 0xFF, 0x13),
+    (0x80, 0x80, 0x9A),
+    (0xB6, 0x53, 0x36),
+    (0x0E, 0x0B, 0x62),
+]
+
+#: (a, e, a**e); 0**0 = 1 by the usual field convention, x**255 = 1 for
+#: nonzero x (the multiplicative group has order 255).
+POW_VECTORS = [
+    (0x00, 0, 0x01),
+    (0x00, 5, 0x00),
+    (0x01, 200, 0x01),
+    (0x02, 8, 0x1B),
+    (0x03, 255, 0x01),
+    (0x57, 2, 0xA5),
+    (0xCA, 7, 0x89),
+    (0xFF, 254, 0x1C),
+    (0x35, 3, 0xAB),
+]
+
+#: (a, b, a/b).
+DIV_VECTORS = [
+    (0x00, 0x01, 0x00),
+    (0x01, 0x53, 0xCA),
+    (0xCA, 0x53, 0x75),
+    (0xFF, 0x02, 0xF2),
+    (0x57, 0x83, 0x38),
+    (0xF0, 0xF0, 0x01),
+]
+
+#: 46-byte payload exercised by the scheme vectors: a rising run, a
+#: falling run, and ASCII -- enough structure to catch byte-order bugs.
+GOLDEN_PAYLOAD = (
+    bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+    + bytes.fromhex("fffefdfcfbfaf9f8f7f6f5f4f3f2f1f0")
+    + b"golden-vector!"
+)
+
+GOLDEN_SEED = 20260807
+
+#: Byte-exact Shamir 3-of-5 shares of GOLDEN_PAYLOAD under
+#: default_rng(GOLDEN_SEED), committed before the batch rewrite landed.
+SHAMIR_3_OF_5 = {
+    1: "7a65aa5c25c4f2538ba88e3d34c8dfe46c9e1c2df59b76db36e3aa15929810160f27003c0384ca40e07c1e472824",
+    2: "31b0d8fc70ef12cf8704aec42300c712737914d1a16c5dfc3b027c6c41947f8c008e711395b34db5ae44e2d82266",
+    3: "4bd470a3512ee69b04a52af21bc516f9e019f500af0dd2dffa17238d20fe9e6a68c61d4bf359aa832b5b88f07863",
+    4: "5b87dff9341d9f177358b33435515c580eecf4c04c8618e33b5020c057c0b19243696fbb6e870f61ad4950ab6f80",
+    5: "21e377a615dc6b43f0f937020d948db39d8c151142e797c0fa457f2136aa50742b2103e3086de85728563a833585",
+}
+
+#: Byte-exact (k=3, L=2, m=5) ramp shares of the same payload and seed.
+RAMP_L2_3_OF_5 = {
+    1: "2cf21314de59a1b4bbbac9ebc89a5e544bd391747a0456b28f",
+    2: "9ac56ac25772b6f5d4df01d35c00022974b66bbd8c181ee8f6",
+    3: "b63779f8892a15426b60ce3f9c9356763368f4c609e2b5a682",
+    4: "0a79ffbb43c6f8ce5d6036e8b1cbac090910df7b8a0daec258",
+    5: "268bec819d9e5b79e2dff9047158f8564ece40000ff7058c2c",
+}
+
+
+class TestFieldVectors:
+    def test_mul_vectors_scalar_field(self):
+        for a, b, want in MUL_VECTORS:
+            assert GF256_FIELD.mul(a, b) == want
+
+    def test_mul_vectors_batch_kernel(self):
+        a = np.array([v[0] for v in MUL_VECTORS], dtype=np.uint8)
+        b = np.array([v[1] for v in MUL_VECTORS], dtype=np.uint8)
+        want = np.array([v[2] for v in MUL_VECTORS], dtype=np.uint8)
+        assert np.array_equal(gf_mul_vec(a, b), want)
+
+    def test_mul_vectors_match_carryless_oracle(self):
+        # The oracle never touches the log/exp tables, so a table bug
+        # cannot agree with it by accident.
+        for a, b, want in MUL_VECTORS:
+            assert _carryless_mul(a, b) == want
+
+    def test_pow_vectors(self):
+        base = np.array([v[0] for v in POW_VECTORS], dtype=np.uint8)
+        exp = np.array([v[1] for v in POW_VECTORS], dtype=np.int64)
+        want = np.array([v[2] for v in POW_VECTORS], dtype=np.uint8)
+        assert np.array_equal(gf_pow_vec(base, exp), want)
+
+    def test_pow_vectors_match_carryless_oracle(self):
+        for a, e, want in POW_VECTORS:
+            acc = 1
+            for _ in range(e):
+                acc = _carryless_mul(acc, a)
+            assert acc == want
+
+    def test_div_vectors(self):
+        a = np.array([v[0] for v in DIV_VECTORS], dtype=np.uint8)
+        b = np.array([v[1] for v in DIV_VECTORS], dtype=np.uint8)
+        want = np.array([v[2] for v in DIV_VECTORS], dtype=np.uint8)
+        assert np.array_equal(gf_div_vec(a, b), want)
+        for ai, bi, wanti in DIV_VECTORS:
+            assert GF256_FIELD.div(ai, bi) == wanti
+
+    def test_div_vectors_match_carryless_oracle(self):
+        # a/b == w  <=>  w*b == a, checked bit-by-bit.
+        for a, b, want in DIV_VECTORS:
+            assert _carryless_mul(want, b) == a
+
+    def test_full_mul_table_matches_carryless_oracle(self):
+        # Exhaustive 256x256 sweep of the batch kernel against the oracle.
+        grid = np.arange(256, dtype=np.uint8)
+        batch = gf_mul_vec(grid[:, None], grid[None, :])
+        oracle = np.array(
+            [[_carryless_mul(a, b) for b in range(256)] for a in range(256)],
+            dtype=np.uint8,
+        )
+        assert np.array_equal(batch, oracle)
+
+
+class TestSchemeVectors:
+    def test_shamir_split_pinned(self):
+        shares = ShamirScheme().split(
+            GOLDEN_PAYLOAD, 3, 5, np.random.default_rng(GOLDEN_SEED)
+        )
+        assert {s.index: s.data.hex() for s in shares} == SHAMIR_3_OF_5
+
+    def test_shamir_scalar_reference_split_pinned(self):
+        shares = scalar_shamir_split(
+            GOLDEN_PAYLOAD, 3, 5, np.random.default_rng(GOLDEN_SEED)
+        )
+        assert {s.index: s.data.hex() for s in shares} == SHAMIR_3_OF_5
+
+    def test_shamir_reconstruct_from_pinned_shares(self):
+        from repro.sharing.base import Share
+
+        shares = [
+            Share(index=i, data=bytes.fromhex(hexdata), k=3, m=5)
+            for i, hexdata in SHAMIR_3_OF_5.items()
+        ]
+        scheme = ShamirScheme()
+        assert scheme.reconstruct(shares[:3]) == GOLDEN_PAYLOAD
+        assert scheme.reconstruct(shares[2:]) == GOLDEN_PAYLOAD
+
+    def test_ramp_split_pinned(self):
+        shares = RampScheme(blocks=2).split(
+            GOLDEN_PAYLOAD, 3, 5, np.random.default_rng(GOLDEN_SEED)
+        )
+        assert {s.index: s.data.hex() for s in shares} == RAMP_L2_3_OF_5
+
+    def test_ramp_scalar_reference_split_pinned(self):
+        shares = scalar_ramp_split(
+            GOLDEN_PAYLOAD, 3, 5, np.random.default_rng(GOLDEN_SEED), blocks=2
+        )
+        assert {s.index: s.data.hex() for s in shares} == RAMP_L2_3_OF_5
+
+    def test_ramp_reconstruct_from_pinned_shares(self):
+        from repro.sharing.base import Share
+
+        shares = [
+            Share(index=i, data=bytes.fromhex(hexdata), k=3, m=5)
+            for i, hexdata in RAMP_L2_3_OF_5.items()
+        ]
+        assert RampScheme(blocks=2).reconstruct(shares[:3]) == GOLDEN_PAYLOAD
