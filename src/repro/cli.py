@@ -320,6 +320,61 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Run a fleet-scale multi-tenant workload (see docs/FLEET.md).
+
+    ``--shards J`` executes cells on J worker processes; the merged
+    report (every per-flow delivery digest included) is byte-identical
+    to a serial run.  ``--parity-check`` proves it by re-running the
+    fleet with ``--shards 1`` and comparing fingerprints.
+    """
+    from repro.obs import Observability
+    from repro.workloads.fleet import run_fleet
+
+    obs = Observability.create(tracing=False)
+    kwargs = dict(
+        flows=args.flows,
+        flows_per_cell=args.flows_per_cell,
+        symbols_per_flow=args.symbols,
+        symbol_size=args.symbol_size,
+        channels=args.channels,
+        synthetic=not args.real,
+        sender_batch_limit=args.batch_limit,
+        batch_reconstruct=not args.no_batch_reconstruct,
+    )
+    report = run_fleet(shards=args.shards, obs=obs, **kwargs)
+    print(
+        f"fleet: flows={report.flows_total} admitted={report.admitted} "
+        f"cells={report.cells} shards={report.shards} "
+        f"delivered={report.delivered_total} mux_drops={report.mux_drops_total} "
+        f"wall={report.wall_time:.2f}s flows_per_sec={report.flows_per_sec:.1f}"
+    )
+    for name, summary in report.tenants.items():
+        print(
+            f"tenant {name}: flows={summary['flows']} "
+            f"delivered={summary['delivered']} min_kappa={summary['min_kappa']} "
+            f"compliant={summary['compliant']}"
+        )
+    print(f"fleet digest: {report.fleet_digest}")
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report.as_dict(), handle, sort_keys=True, indent=1)
+            handle.write("\n")
+        print(f"report -> {args.out}")
+    if args.parity_check:
+        serial = run_fleet(shards=1, **kwargs)
+        if serial.fleet_digest != report.fleet_digest:
+            print(
+                f"fleet parity: MISMATCH (serial {serial.fleet_digest})",
+                file=sys.stderr,
+            )
+            return 1
+        print("fleet parity: ok")
+    if not all(summary["compliant"] for summary in report.tenants.values()):
+        return 1
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Run the AST-based determinism linter (see docs/LINTING.md)."""
     from repro.lint.cli import run_lint
@@ -464,6 +519,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--out", help="also write the result rows to this JSON file")
     sweep.set_defaults(func=cmd_sweep)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="run a fleet-scale multi-tenant workload with sharded execution",
+        description="Synthesize a deterministic multi-tenant fleet and run "
+        "it through the flow-sharded executor (repro.fleet).  --shards J "
+        "computes cells on J worker processes with a report byte-identical "
+        "to --shards 1; --parity-check re-runs serially and compares the "
+        "fleet delivery fingerprint.  See docs/FLEET.md.",
+    )
+    fleet.add_argument("--flows", type=int, default=256, help="fleet size")
+    fleet.add_argument(
+        "--shards", type=int, default=1, metavar="J",
+        help="worker processes (default 1 = serial; any J gives identical results)",
+    )
+    fleet.add_argument(
+        "--flows-per-cell", type=int, default=32,
+        help="flows sharing one simulated channel set (default 32)",
+    )
+    fleet.add_argument(
+        "--symbols", type=int, default=4, help="source symbols per flow (default 4)"
+    )
+    fleet.add_argument(
+        "--symbol-size", type=int, default=64, help="payload bytes per symbol"
+    )
+    fleet.add_argument(
+        "--channels", type=int, default=4, help="channels per cell (default 4)"
+    )
+    fleet.add_argument(
+        "--real", action="store_true",
+        help="split and reconstruct real secrets (default: synthetic sizes only)",
+    )
+    fleet.add_argument(
+        "--batch-limit", type=int, default=8,
+        help="symbols per split_many call on the send hot path (default 8)",
+    )
+    fleet.add_argument(
+        "--no-batch-reconstruct", action="store_true",
+        help="reconstruct per symbol instead of coalescing same-instant completions",
+    )
+    fleet.add_argument(
+        "--parity-check", action="store_true",
+        help="re-run serially and verify the fleet digest matches",
+    )
+    fleet.add_argument("--out", help="write the merged report to this JSON file")
+    fleet.set_defaults(func=cmd_fleet)
 
     lint = sub.add_parser(
         "lint",

@@ -1,0 +1,41 @@
+"""Fleet-scale multi-tenant protocol workloads.
+
+The paper evaluates one secret stream between two endpoints; this package
+scales that to a *fleet*: many tenants, each owning flows with their own
+privacy requirement (a κ floor), multiplexed over shared channel sets and
+executed across worker processes with byte-identical results regardless
+of sharding (docs/FLEET.md).
+
+Layers:
+
+* :mod:`repro.fleet.spec` -- tenants, flow descriptors, deterministic
+  fleet synthesis;
+* :mod:`repro.fleet.admission` -- per-tenant admission control (κ floors
+  and flow quotas);
+* :mod:`repro.fleet.mux` -- deficit-round-robin fair multiplexing of
+  flows onto one :class:`~repro.protocol.sender.ShareSender`;
+* :mod:`repro.fleet.cell` -- the picklable per-cell simulation (one
+  shared-channel network carrying a slice of the fleet);
+* :mod:`repro.fleet.runner` -- shards cells over a process pool via
+  :mod:`repro.sweep` and merges the per-flow delivery digests.
+"""
+
+from repro.fleet.admission import AdmissionController, AdmissionStats
+from repro.fleet.cell import run_cell
+from repro.fleet.mux import FlowMux, FlowMuxStats
+from repro.fleet.runner import FleetReport, FleetRunner
+from repro.fleet.spec import FleetSpec, FlowSpec, Tenant, synthesize_fleet
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionStats",
+    "FleetReport",
+    "FleetRunner",
+    "FleetSpec",
+    "FlowMux",
+    "FlowMuxStats",
+    "FlowSpec",
+    "Tenant",
+    "run_cell",
+    "synthesize_fleet",
+]

@@ -17,9 +17,9 @@ arriving after that are counted as *late* and dropped.
 from __future__ import annotations
 
 from collections import OrderedDict, deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from typing import Callable, Deque, Dict, Optional, Set
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.netsim.engine import Engine, Event
 from repro.netsim.host import CpuModel
@@ -32,10 +32,22 @@ from repro.sharing.robust import robust_reconstruct
 #: classification, as a multiple of the reassembly limit.
 _COMPLETED_MEMORY_FACTOR = 4
 
+#: Per-flow counter fields tracked inside :class:`ReceiverStats.flows`.
+FLOW_RECEIVER_FIELDS = (
+    "shares_received", "symbols_delivered", "late_shares",
+    "duplicate_shares", "evicted_symbols",
+)
+
 
 @dataclass
 class ReceiverStats:
-    """Counters kept by the receive path."""
+    """Counters kept by the receive path.
+
+    The scalar counters aggregate over every flow (the historical
+    behaviour); per-flow blocks under :attr:`flows` exist only for
+    *non-default* flows so single-flow runs keep the exact JSON shape
+    they had before flows existed.
+    """
 
     shares_received: int = 0
     symbols_delivered: int = 0
@@ -52,9 +64,32 @@ class ReceiverStats:
     repair_extensions: int = 0
     #: Symbols delivered only thanks to at least one repair round.
     repair_recovered: int = 0
+    #: Per-flow counters, keyed by nonzero flow id (see FLOW_RECEIVER_FIELDS).
+    flows: Dict[int, Dict[str, int]] = field(default_factory=dict)
+
+    def flow_block(self, flow: int) -> Dict[str, int]:
+        """The (created-on-demand) counter block for a nonzero flow."""
+        block = self.flows.get(flow)
+        if block is None:
+            block = {name: 0 for name in FLOW_RECEIVER_FIELDS}
+            self.flows[flow] = block
+        return block
+
+    def count(self, flow: int, name: str, delta: int = 1) -> None:
+        """Bump aggregate counter ``name`` (and its flow block if flow != 0)."""
+        setattr(self, name, getattr(self, name) + delta)
+        if flow != 0:
+            self.flow_block(flow)[name] += delta
 
     def as_dict(self) -> dict:
-        return dict(self.__dict__)
+        out = dict(self.__dict__)
+        if self.flows:
+            out["flows"] = {
+                str(flow): dict(block) for flow, block in sorted(self.flows.items())
+            }
+        else:
+            del out["flows"]  # single-flow runs keep the historical shape
+        return out
 
 
 class _Entry:
@@ -62,11 +97,14 @@ class _Entry:
 
     __slots__ = (
         "seq", "k", "m", "shares", "channels", "first_at", "sent_at", "evict_event",
-        "repair_rounds",
+        "repair_rounds", "flow",
     )
 
-    def __init__(self, seq: int, k: int, m: int, first_at: float, sent_at: float):
+    def __init__(
+        self, seq: int, k: int, m: int, first_at: float, sent_at: float, flow: int = 0
+    ):
         self.seq = seq
+        self.flow = flow
         self.k = k
         self.m = m
         self.shares: Dict[int, Share] = {}
@@ -99,6 +137,12 @@ class ReassemblyBuffer:
         byzantine_tolerance: corrupted shares to correct per symbol; when
             positive, completion waits for ``min(m, k + 2e)`` shares and
             decodes with :func:`repro.sharing.robust.robust_reconstruct`.
+        batch_reconstruct: when True, symbols completing at the same
+            simulation instant are decoded together through
+            :meth:`~repro.sharing.base.SecretSharingScheme.reconstruct_many`
+            (same timestamp, order, payloads and stats as the per-symbol
+            path).  Only effective without a CPU model, synthetic mode or
+            Byzantine tolerance.
     """
 
     def __init__(
@@ -113,6 +157,7 @@ class ReassemblyBuffer:
         share_cost: float = 1.0,
         reconstruct_cost_per_k: float = 1.0,
         byzantine_tolerance: int = 0,
+        batch_reconstruct: bool = False,
     ):
         self.engine = engine
         self.scheme = scheme
@@ -140,11 +185,28 @@ class ReassemblyBuffer:
         #: extra reassembly time (the hook has NACKed its missing shares);
         #: None lets the eviction proceed.  See docs/RESILIENCE.md.
         self.repair_policy: Optional[Callable[[_Entry], Optional[float]]] = None
-        self._table: "OrderedDict[int, _Entry]" = OrderedDict()
-        #: Sequence numbers known to be closed -- delivered, or evicted
+        #: Optional flow-aware delivery hook ``(flow, seq, payload, delay)``.
+        #: When set it is called INSTEAD of ``on_deliver`` -- the fleet
+        #: demultiplexer uses it to route deliveries to per-flow sinks.
+        self.on_deliver_flow: Optional[
+            Callable[[int, int, Optional[bytes], float], None]
+        ] = None
+        #: Reassembly state is keyed by (flow, seq): two tenants using the
+        #: same sequence number can never share a reassembly group, so
+        #: shares are never cross-delivered between flows.
+        self._table: "OrderedDict[Tuple[int, int], _Entry]" = OrderedDict()
+        #: (flow, seq) pairs known to be closed -- delivered, or evicted
         #: when the table was full.  Shares for them are *late*, not new.
-        self._closed: Set[int] = set()
-        self._closed_order: Deque[int] = deque()
+        self._closed: Set[Tuple[int, int]] = set()
+        self._closed_order: Deque[Tuple[int, int]] = deque()
+        self.batch_reconstruct = (
+            batch_reconstruct
+            and not synthetic
+            and byzantine_tolerance == 0
+            and (cpu is None or cpu.capacity is None)
+        )
+        self._flush_pending: List[_Entry] = []
+        self._flush_scheduled = False
 
     @property
     def pending(self) -> int:
@@ -166,6 +228,7 @@ class ReassemblyBuffer:
         if self.synthetic:
             meta = datagram.meta
             seq, index, k, m = meta["seq"], meta["index"], meta["k"], meta["m"]
+            flow = meta.get("flow", 0)
             share = None
         else:
             try:
@@ -174,16 +237,18 @@ class ReassemblyBuffer:
                 self.stats.decode_errors += 1
                 return
             seq, index, k, m = header.seq, header.index, header.k, header.m
-        self.stats.shares_received += 1
+            flow = header.flow
+        self.stats.count(flow, "shares_received")
 
-        if seq in self._closed:
-            self.stats.late_shares += 1
+        key = (flow, seq)
+        if key in self._closed:
+            self.stats.count(flow, "late_shares")
             return
-        entry = self._table.get(seq)
+        entry = self._table.get(key)
         if entry is None:
-            entry = self._open_entry(seq, k, m, datagram)
+            entry = self._open_entry(flow, seq, k, m, datagram)
         if index in entry.shares:
-            self.stats.duplicate_shares += 1
+            self.stats.count(flow, "duplicate_shares")
             return
         # Synthetic mode stores a placeholder; real mode stores the share.
         entry.shares[index] = share
@@ -203,21 +268,21 @@ class ReassemblyBuffer:
             return entry.k
         return min(entry.m, entry.k + 2 * self.byzantine_tolerance)
 
-    def _open_entry(self, seq: int, k: int, m: int, datagram: Datagram) -> _Entry:
+    def _open_entry(self, flow: int, seq: int, k: int, m: int, datagram: Datagram) -> _Entry:
         if len(self._table) >= self.limit:
             # Evict the oldest incomplete symbol to make room.  Unlike a
             # timeout eviction (where a later share is indistinguishable
             # from a new symbol, so the entry may be re-opened), a
-            # capacity eviction is a deliberate close: remember the seq so
+            # capacity eviction is a deliberate close: remember the key so
             # stragglers count as late instead of opening a fresh entry
             # that can never complete.
-            evicted_seq, oldest = self._table.popitem(last=False)
+            evicted_key, oldest = self._table.popitem(last=False)
             self._drop_entry(oldest)
-            self._remember_closed(evicted_seq)
+            self._remember_closed(evicted_key)
         sent_at = datagram.meta.get("symbol_sent_at", datagram.sent_at)
-        entry = _Entry(seq, k, m, first_at=self.engine.now, sent_at=sent_at)
-        entry.evict_event = self.engine.schedule(self.timeout, self._evict, seq)
-        self._table[seq] = entry
+        entry = _Entry(seq, k, m, first_at=self.engine.now, sent_at=sent_at, flow=flow)
+        entry.evict_event = self.engine.schedule(self.timeout, self._evict, (flow, seq))
+        self._table[(flow, seq)] = entry
         occupancy = len(self._table)
         if occupancy > self.max_pending:
             self.max_pending = occupancy
@@ -228,12 +293,22 @@ class ReassemblyBuffer:
     # -- completion and eviction -------------------------------------------------
 
     def _complete(self, entry: _Entry) -> None:
-        del self._table[entry.seq]
+        del self._table[(entry.flow, entry.seq)]
         if entry.evict_event is not None:
             entry.evict_event.cancel()
-        self._remember_closed(entry.seq)
+        self._remember_closed((entry.flow, entry.seq))
         if entry.repair_rounds > 0:
             self.stats.repair_recovered += 1
+
+        if self.batch_reconstruct:
+            # Coalesce completions at this instant; the flush event fires
+            # at the same timestamp, so delivery time and order match the
+            # inline path while the GF work batches across symbols.
+            self._flush_pending.append(entry)
+            if not self._flush_scheduled:
+                self._flush_scheduled = True
+                self.engine.schedule(0.0, self._flush_batch)
+            return
 
         def finish() -> None:
             if self.synthetic:
@@ -259,11 +334,7 @@ class ReassemblyBuffer:
                 except ReconstructionError:
                     self.stats.reconstruction_errors += 1
                     return
-            self.stats.symbols_delivered += 1
-            delay = self.engine.now - entry.sent_at if entry.sent_at >= 0 else 0.0
-            if self.latency_histogram is not None:
-                self.latency_histogram.observe(delay)
-            self.on_deliver(entry.seq, payload, delay)
+            self._deliver(entry, payload)
 
         if self.cpu is None or self.cpu.capacity is None:
             finish()
@@ -273,15 +344,53 @@ class ReassemblyBuffer:
             # Reconstruction work rejected by a saturated CPU: symbol lost.
             self.stats.cpu_rejected_shares += 1
 
-    def _remember_closed(self, seq: int) -> None:
-        self._closed.add(seq)
-        self._closed_order.append(seq)
+    def _deliver(self, entry: _Entry, payload: Optional[bytes]) -> None:
+        self.stats.count(entry.flow, "symbols_delivered")
+        delay = self.engine.now - entry.sent_at if entry.sent_at >= 0 else 0.0
+        if self.latency_histogram is not None:
+            self.latency_histogram.observe(delay)
+        if self.on_deliver_flow is not None:
+            self.on_deliver_flow(entry.flow, entry.seq, payload, delay)
+        else:
+            self.on_deliver(entry.seq, payload, delay)
+
+    def _flush_batch(self) -> None:
+        """Reconstruct every completion coalesced at this instant.
+
+        ``reconstruct_many`` buckets the groups by geometry internally and
+        returns exactly what per-group ``reconstruct`` calls would, so the
+        delivered payloads are bit-identical to the inline path.  A group
+        that cannot reconstruct falls back to the per-symbol error
+        accounting without poisoning its batch.
+        """
+        batch = self._flush_pending
+        self._flush_pending = []
+        self._flush_scheduled = False
+        groups = [list(entry.shares.values()) for entry in batch]
+        try:
+            payloads = self.scheme.reconstruct_many(groups)
+        except ReconstructionError:
+            payloads = []
+            for group in groups:
+                try:
+                    payloads.append(self.scheme.reconstruct(group))
+                except ReconstructionError:
+                    payloads.append(None)
+        for entry, payload in zip(batch, payloads):
+            if payload is None:
+                self.stats.reconstruction_errors += 1
+                continue
+            self._deliver(entry, payload)
+
+    def _remember_closed(self, key: Tuple[int, int]) -> None:
+        self._closed.add(key)
+        self._closed_order.append(key)
         max_remembered = self.limit * _COMPLETED_MEMORY_FACTOR
         while len(self._closed_order) > max_remembered:
             self._closed.discard(self._closed_order.popleft())
 
-    def _evict(self, seq: int) -> None:
-        entry = self._table.get(seq)
+    def _evict(self, key: Tuple[int, int]) -> None:
+        entry = self._table.get(key)
         if entry is None:
             return
         if self.repair_policy is not None:
@@ -290,17 +399,17 @@ class ReassemblyBuffer:
                 # The repair hook NACKed the missing shares; keep the
                 # entry alive long enough for the retransmission.
                 self.stats.repair_extensions += 1
-                entry.evict_event = self.engine.schedule(extension, self._evict, seq)
+                entry.evict_event = self.engine.schedule(extension, self._evict, key)
                 return
-        del self._table[seq]
+        del self._table[key]
         if self.tracer is not None:
             self.tracer.event(
-                "reassembly_evict", seq=seq, shares=len(entry.shares), k=entry.k
+                "reassembly_evict", seq=entry.seq, shares=len(entry.shares), k=entry.k
             )
         self._drop_entry(entry, cancel_timer=False)
 
     def _drop_entry(self, entry: _Entry, cancel_timer: bool = True) -> None:
         if cancel_timer and entry.evict_event is not None:
             entry.evict_event.cancel()
-        self.stats.evicted_symbols += 1
+        self.stats.count(entry.flow, "evicted_symbols")
         self.stats.evicted_shares += len(entry.shares)

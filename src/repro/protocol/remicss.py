@@ -107,6 +107,7 @@ class RemicssNode:
             share_cost=config.cpu_share_cost,
             reconstruct_cost_per_k=config.cpu_reconstruct_cost_per_k,
             byzantine_tolerance=config.byzantine_tolerance,
+            batch_reconstruct=config.batch_reconstruct,
         )
         for port in ports_in:
             port.on_receive(self.receiver.handle_datagram)

@@ -47,13 +47,13 @@ from repro.protocol.wire import (
     CTRL_NACK,
     CTRL_PROBE,
     CTRL_PROBE_ACK,
-    HEADER_SIZE,
     WireFormatError,
     decode_control,
     encode_nack,
     encode_probe,
     encode_probe_ack,
     encode_share,
+    share_packet_size,
 )
 
 #: Gauge ordinal exported per channel (docs/OBSERVABILITY.md).
@@ -294,7 +294,7 @@ class ResilienceManager:
             self._on_probe_ack(message.channel)
         elif message.kind == CTRL_NACK:
             self.stats.nacks_received += 1
-            self._on_nack(message.seq, message.have)
+            self._on_nack(message.flow, message.seq, message.have)
 
     def _decode(self, datagram: Datagram):
         try:
@@ -313,8 +313,8 @@ class ResilienceManager:
 
     # -- repair -------------------------------------------------------------------
 
-    def _remember_for_repair(self, seq, k, m, offered_at, shares) -> None:
-        self.repair_buffer.remember(seq, k, m, offered_at, shares)
+    def _remember_for_repair(self, flow, seq, k, m, offered_at, shares) -> None:
+        self.repair_buffer.remember(flow, seq, k, m, offered_at, shares)
 
     def _repair_policy(self, entry: _Entry) -> Optional[float]:
         """Receiver-side hook: NACK an eviction-bound partial symbol.
@@ -322,14 +322,18 @@ class ResilienceManager:
         Returns the extra reassembly time to grant, or None to let the
         eviction proceed.  Requires ``1 <= received < k`` -- a symbol with
         zero shares cannot be identified (its parameters are unknown to
-        the receiver), and one at or past k is completing anyway.
+        the receiver), and one at or past k is completing anyway.  The
+        NACK carries the entry's flow id, so a repair can only ever be
+        answered with that flow's own shares.
         """
         if entry.repair_rounds >= self.resilience.repair_retry_budget:
             return None
         held = len(entry.shares)
         if not 1 <= held < entry.k:
             return None
-        payload = encode_nack(entry.seq, entry.k, entry.m, sorted(entry.shares))
+        payload = encode_nack(
+            entry.seq, entry.k, entry.m, sorted(entry.shares), flow=entry.flow
+        )
         port = self._first_writable(self._rx_ctrl_ports)
         if port is None:
             return None
@@ -341,10 +345,10 @@ class ResilienceManager:
         entry.repair_rounds += 1
         return self.resilience.repair_window
 
-    def _on_nack(self, seq: int, have) -> None:
+    def _on_nack(self, flow: int, seq: int, have) -> None:
         if self.repair_buffer is None:
             return
-        job = self.repair_buffer.handle_nack(self.engine.now, seq, have)
+        job = self.repair_buffer.handle_nack(self.engine.now, flow, seq, have)
         if job is not None:
             self.engine.schedule_at(job.send_at, self._send_repair, job)
 
@@ -363,10 +367,17 @@ class ResilienceManager:
                 "symbol_sent_at": job.offered_at, "channel": port.index,
                 "repair_round": job.round,
             }
+            if job.flow != 0:
+                meta["flow"] = job.flow
             if share is None:
-                datagram = Datagram(size=self.config.symbol_size + HEADER_SIZE, meta=meta)
+                datagram = Datagram(
+                    size=share_packet_size(self.config.symbol_size, job.flow),
+                    meta=meta,
+                )
             else:
-                packet = encode_share(job.seq, share, self.config.scheme.name)
+                packet = encode_share(
+                    job.seq, share, self.config.scheme.name, flow=job.flow
+                )
                 datagram = Datagram(size=len(packet), payload=packet, meta=meta)
             if port.send(datagram):
                 sent += 1

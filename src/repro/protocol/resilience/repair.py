@@ -33,7 +33,8 @@ class RepairJob:
     """One scheduled retransmission for a NACKed symbol.
 
     Attributes:
-        seq: symbol sequence number.
+        flow: flow the symbol belongs to (0 = default single-flow stream).
+        seq: symbol sequence number (unique within its flow).
         k: threshold.
         m: multiplicity of the original transmission.
         offered_at: when the symbol entered the sender (delay accounting).
@@ -50,15 +51,17 @@ class RepairJob:
     send_at: float
     round: int
     shares: Tuple[Tuple[int, Optional[Share]], ...]
+    flow: int = 0
 
 
 class _BufferedSymbol:
-    __slots__ = ("seq", "k", "m", "offered_at", "shares", "rounds", "next_ok_at")
+    __slots__ = ("flow", "seq", "k", "m", "offered_at", "shares", "rounds", "next_ok_at")
 
     def __init__(
-        self, seq: int, k: int, m: int, offered_at: float,
+        self, flow: int, seq: int, k: int, m: int, offered_at: float,
         shares: Tuple[Optional[Share], ...],
     ):
+        self.flow = flow
         self.seq = seq
         self.k = k
         self.m = m
@@ -82,13 +85,16 @@ class RepairBuffer:
         self.unknown_nacks = 0
         self.budget_exhausted = 0
         self.duplicate_nacks = 0
-        self._symbols: "OrderedDict[int, _BufferedSymbol]" = OrderedDict()
+        # Keyed by (flow, seq): a NACK can only ever be answered with the
+        # shares of its own flow, so repair never crosses tenants.
+        self._symbols: "OrderedDict[tuple, _BufferedSymbol]" = OrderedDict()
 
     def __len__(self) -> int:
         return len(self._symbols)
 
     def remember(
         self,
+        flow: int,
         seq: int,
         k: int,
         m: int,
@@ -98,9 +104,13 @@ class RepairBuffer:
         """Buffer one transmitted symbol, evicting the oldest when full."""
         while len(self._symbols) >= self.config.repair_buffer_limit:
             self._symbols.popitem(last=False)
-        self._symbols[seq] = _BufferedSymbol(seq, k, m, offered_at, tuple(shares))
+        self._symbols[(flow, seq)] = _BufferedSymbol(
+            flow, seq, k, m, offered_at, tuple(shares)
+        )
 
-    def handle_nack(self, now: float, seq: int, have: Sequence[int]) -> Optional[RepairJob]:
+    def handle_nack(
+        self, now: float, flow: int, seq: int, have: Sequence[int]
+    ) -> Optional[RepairJob]:
         """Turn a NACK into a repair job, or None if repair is not possible.
 
         ``None`` outcomes are counted by cause: the symbol fell out of the
@@ -108,7 +118,7 @@ class RepairBuffer:
         (``budget_exhausted``), or a duplicate NACK arrived before the
         previous round's send time (``duplicate_nacks``).
         """
-        symbol = self._symbols.get(seq)
+        symbol = self._symbols.get((flow, seq))
         if symbol is None:
             self.unknown_nacks += 1
             return None
@@ -140,8 +150,9 @@ class RepairBuffer:
             send_at=send_at,
             round=symbol.rounds,
             shares=tuple((index, symbol.shares[index - 1]) for index in picked),
+            flow=flow,
         )
 
-    def forget(self, seq: int) -> None:
+    def forget(self, flow: int, seq: int) -> None:
         """Drop a symbol from the buffer (e.g. once delivered)."""
-        self._symbols.pop(seq, None)
+        self._symbols.pop((flow, seq), None)

@@ -19,8 +19,8 @@ once channel capacity outgrows the end system.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
-from typing import Deque, FrozenSet, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Deque, Dict, FrozenSet, List, Optional, Sequence
 
 import numpy as np
 
@@ -31,13 +31,22 @@ from repro.netsim.ports import ChannelPort
 from repro.netsim.readiness import WriteSelector
 from repro.protocol.config import ProtocolConfig
 from repro.protocol.scheduler import ParameterSampler
-from repro.protocol.wire import HEADER_SIZE, encode_share
+from repro.protocol.wire import encode_share, share_packet_size
 from repro.sharing.base import Share
+
+#: Per-flow counter fields tracked inside :class:`SenderStats.flows`.
+FLOW_SENDER_FIELDS = ("symbols_offered", "symbols_sent", "source_drops", "shares_sent")
 
 
 @dataclass
 class SenderStats:
-    """Counters kept by the send path."""
+    """Counters kept by the send path.
+
+    The scalar counters aggregate over every flow, exactly as before flows
+    existed.  Multi-flow senders additionally keep a per-flow block under
+    :attr:`flows` -- but only for *non-default* flows, so a single-flow run
+    (everything on flow 0) serialises to exactly the historical JSON shape.
+    """
 
     symbols_offered: int = 0
     symbols_sent: int = 0
@@ -51,23 +60,50 @@ class SenderStats:
     #: DEGRADED mode: no feasible schedule survives, so rather than leak
     #: under a weaker threshold the sender sheds load at the source).
     admission_paused_drops: int = 0
+    #: Per-flow counters, keyed by nonzero flow id (see FLOW_SENDER_FIELDS).
+    flows: Dict[int, Dict[str, int]] = field(default_factory=dict)
+
+    def flow_block(self, flow: int) -> Dict[str, int]:
+        """The (created-on-demand) counter block for a nonzero flow."""
+        block = self.flows.get(flow)
+        if block is None:
+            block = {name: 0 for name in FLOW_SENDER_FIELDS}
+            self.flows[flow] = block
+        return block
+
+    def count(self, flow: int, name: str, delta: int = 1) -> None:
+        """Bump aggregate counter ``name`` (and its flow block if flow != 0)."""
+        setattr(self, name, getattr(self, name) + delta)
+        if flow != 0:
+            self.flow_block(flow)[name] += delta
 
     def as_dict(self) -> dict:
-        return dict(self.__dict__)
+        out = dict(self.__dict__)
+        if self.flows:
+            # JSON object keys are strings; sort for stable serialisation.
+            out["flows"] = {
+                str(flow): dict(block) for flow, block in sorted(self.flows.items())
+            }
+        else:
+            del out["flows"]  # single-flow runs keep the historical shape
+        return out
 
 
 class _PendingSymbol:
     """A source symbol waiting in the sender's queue."""
 
-    __slots__ = ("seq", "payload", "offered_at", "k", "m", "subset")
+    __slots__ = ("seq", "payload", "offered_at", "k", "m", "subset", "flow", "shares")
 
-    def __init__(self, seq: int, payload: Optional[bytes], offered_at: float):
+    def __init__(self, seq: int, payload: Optional[bytes], offered_at: float, flow: int = 0):
         self.seq = seq
         self.payload = payload
         self.offered_at = offered_at
+        self.flow = flow
         self.k: Optional[int] = None
         self.m: Optional[int] = None
         self.subset: Optional[FrozenSet[int]] = None
+        #: Shares prefetched by the batch split path (None = not split yet).
+        self.shares: Optional[List[Optional[Share]]] = None
 
 
 class ShareSender:
@@ -109,12 +145,16 @@ class ShareSender:
         #: symbols are refused at the source queue instead of being sent
         #: under an infeasible schedule.
         self.admission_paused = False
-        #: Optional hook ``(seq, k, m, offered_at, shares)`` called after
-        #: every transmitted symbol; the resilience layer uses it to fill
-        #: the repair buffer.
+        #: Optional hook ``(flow, seq, k, m, offered_at, shares)`` called
+        #: after every transmitted symbol; the resilience layer uses it to
+        #: fill the repair buffer.
         self.on_transmit = None
+        #: Per-flow parameter samplers for multiplexed (fleet) traffic;
+        #: flows without an entry use the node-level :attr:`sampler`.
+        self.flow_samplers: Dict[int, ParameterSampler] = {}
         self._source: Deque[_PendingSymbol] = deque()
-        self._next_seq = 0
+        self._next_seq = 0  # flow 0 (kept as a plain int for compatibility)
+        self._flow_seqs: Dict[int, int] = {}
         self._cpu_busy = False
         for port in self.ports:
             port.link.watch_writable(self._pump)
@@ -126,16 +166,33 @@ class ShareSender:
 
     # -- ingress ----------------------------------------------------------------
 
-    def offer(self, payload: Optional[bytes] = None) -> bool:
+    def set_flow_sampler(self, flow: int, sampler: ParameterSampler) -> None:
+        """Register a per-flow parameter sampler (fleet multiplexing).
+
+        Symbols offered on ``flow`` sample their (k, m) from this sampler
+        instead of the node-level one, so tenants with different (κ, µ)
+        requirements can share one sender.
+        """
+        if flow == 0:
+            self.sampler = sampler
+        else:
+            self.flow_samplers[flow] = sampler
+
+    def _sampler_for(self, flow: int) -> ParameterSampler:
+        return self.flow_samplers.get(flow, self.sampler)
+
+    def offer(self, payload: Optional[bytes] = None, flow: int = 0) -> bool:
         """Offer one source symbol to the protocol.
 
         ``payload`` may be ``None`` in synthetic mode (rate benchmarks);
         otherwise it must be exactly ``config.symbol_size`` bytes.
+        ``flow`` tags the symbol with a stream id (0 = the default
+        single-flow stream); sequence numbers count per flow.
 
         Returns:
             False if the source queue was full and the symbol was dropped.
         """
-        self.stats.symbols_offered += 1
+        self.stats.count(flow, "symbols_offered")
         if payload is not None and len(payload) != self.config.symbol_size:
             raise ValueError(
                 f"payload must be {self.config.symbol_size} bytes, got {len(payload)}"
@@ -146,27 +203,38 @@ class ShareSender:
             self.stats.admission_paused_drops += 1
             return False
         if len(self._source) >= self.config.source_queue_limit:
-            self.stats.source_drops += 1
+            self.stats.count(flow, "source_drops")
             return False
-        symbol = _PendingSymbol(self._next_seq, payload, self.engine.now)
-        self._next_seq += 1
+        symbol = _PendingSymbol(self._take_seq(flow), payload, self.engine.now, flow)
         self._source.append(symbol)
         self._pump()
         return True
 
+    def _take_seq(self, flow: int) -> int:
+        if flow == 0:
+            seq = self._next_seq
+            self._next_seq += 1
+            return seq
+        seq = self._flow_seqs.get(flow, 0)
+        self._flow_seqs[flow] = seq + 1
+        return seq
+
     def resample_head(self) -> None:
-        """Drop the head symbol's sticky parameters and re-pump.
+        """Drop queued symbols' sticky parameters and re-pump.
 
         Sampled parameters normally stick while a symbol waits.  After a
         failover swaps the sampler, the head may be waiting on a subset
         containing a quarantined channel (a head-of-line stall that would
         only clear when the dead channel recovers); re-sampling under the
-        new schedule lets it proceed over the survivors.
+        new schedule lets it proceed over the survivors.  Prefetched
+        batch state is discarded along with the parameters: anything not
+        yet transmitted re-samples (and re-splits) under the new schedule,
+        matching what the per-symbol path would have done.
         """
-        if self._source:
-            head = self._source[0]
-            head.k = head.m = None
-            head.subset = None
+        for queued in self._source:
+            queued.k = queued.m = None
+            queued.subset = None
+            queued.shares = None
         self._pump()
 
     # -- the pipeline -------------------------------------------------------------
@@ -178,9 +246,7 @@ class ShareSender:
         while self._source:
             symbol = self._source[0]
             if symbol.k is None:
-                symbol.k, symbol.m, symbol.subset = self.sampler.sample()
-                pair = (symbol.k, symbol.m)
-                self.schedule_picks[pair] = self.schedule_picks.get(pair, 0) + 1
+                self._sample(symbol)
             chosen = self._choose_ports(symbol)
             if chosen is None:
                 self.stats.readiness_stalls += 1
@@ -204,6 +270,46 @@ class ShareSender:
             self.cpu.submit(cost, finish)
             return
 
+    def _sample(self, symbol: _PendingSymbol) -> None:
+        """Draw and record (k, m, M) for one queued symbol."""
+        symbol.k, symbol.m, symbol.subset = self._sampler_for(symbol.flow).sample()
+        pair = (symbol.k, symbol.m)
+        self.schedule_picks[pair] = self.schedule_picks.get(pair, 0) + 1
+
+    def _ensure_shares(self, symbol: _PendingSymbol) -> List[Optional[Share]]:
+        """The symbol's shares, splitting (a batch) on first use.
+
+        With ``sender_batch_limit > 1``, the head symbol's split is
+        amortized: queued symbols that sample the same (k, m) are split in
+        the same :meth:`split_many` call and carry their shares until they
+        transmit.  ``split_many`` draws the per-secret randomness in queue
+        order, and parameter sampling uses a separate named stream, so the
+        emitted wire bytes are bit-identical to the per-symbol path.
+        Transmission (and therefore channel readiness, drops and ordering)
+        stays strictly per symbol.
+        """
+        if symbol.shares is not None:
+            return symbol.shares
+        batch = [symbol]
+        limit = self.config.sender_batch_limit
+        if limit > 1:
+            for queued in self._source:
+                if len(batch) >= limit:
+                    break
+                if queued.shares is not None or queued.payload is None:
+                    break
+                if queued.k is None:
+                    self._sample(queued)
+                if (queued.k, queued.m) != (symbol.k, symbol.m):
+                    break
+                batch.append(queued)
+        groups = self.config.scheme.split_many(
+            [member.payload for member in batch], symbol.k, symbol.m, self.rng
+        )
+        for member, group in zip(batch, groups):
+            member.shares = list(group)
+        return symbol.shares
+
     def _choose_ports(self, symbol: _PendingSymbol) -> Optional[List[ChannelPort]]:
         """The ports to use for this symbol, or None if not all are ready."""
         if symbol.subset is None:
@@ -224,14 +330,15 @@ class ShareSender:
                 m=symbol.m,
                 channels=[port.index for port in chosen],
             )
-        size = self.config.symbol_size + HEADER_SIZE
+        flow = symbol.flow
+        size = share_packet_size(self.config.symbol_size, flow)
         meta_base = {"seq": symbol.seq, "k": symbol.k, "m": symbol.m}
+        if flow != 0:
+            meta_base["flow"] = flow
         if self.config.share_synthetic:
             shares: List[Optional[Share]] = [None] * symbol.m
         else:
-            shares = list(
-                self.config.scheme.split(symbol.payload, symbol.k, symbol.m, self.rng)
-            )
+            shares = self._ensure_shares(symbol)
         for position, port in enumerate(chosen):
             index = position + 1
             meta = {
@@ -243,13 +350,15 @@ class ShareSender:
             if shares[position] is None:
                 datagram = Datagram(size=size, meta=meta)
             else:
-                packet = encode_share(symbol.seq, shares[position], self.config.scheme.name)
+                packet = encode_share(
+                    symbol.seq, shares[position], self.config.scheme.name, flow=flow
+                )
                 datagram = Datagram(size=len(packet), payload=packet, meta=meta)
             if port.send(datagram):
-                self.stats.shares_sent += 1
+                self.stats.count(flow, "shares_sent")
                 self.shares_per_channel[port.index] += 1
             else:  # pragma: no cover - ports were checked writable
                 self.stats.share_send_failures += 1
-        self.stats.symbols_sent += 1
+        self.stats.count(flow, "symbols_sent")
         if self.on_transmit is not None:
-            self.on_transmit(symbol.seq, symbol.k, symbol.m, symbol.offered_at, shares)
+            self.on_transmit(flow, symbol.seq, symbol.k, symbol.m, symbol.offered_at, shares)

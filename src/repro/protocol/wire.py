@@ -22,6 +22,21 @@ The 16-byte header over a 1250-byte symbol is the protocol's intrinsic
 ~1.3% rate overhead; together with scheduling slack it accounts for the
 "within 3-4% of optimal" gap the paper reports.
 
+**Flows (version 2).**  The fleet workload multiplexes many independent
+secret streams ("flows", one per tenant stream) over the same channels,
+so shares of different flows must never be mixed in one reassembly group.
+A share of a non-default flow is carried in a *version 2* packet: the
+``FLAG_FLOW`` bit is set in the flags byte and a 4-byte big-endian flow id
+follows the fixed header (header total 20 bytes).  Flow 0 is the default
+single-flow stream and is always encoded as a version 1 packet --
+byte-identical to what pre-flow senders emitted -- so single-flow captures,
+goldens and stats keep their exact shape.  Decoding is version-tolerant:
+version 1 packets mean flow 0, version 2 packets without ``FLAG_FLOW``
+also mean flow 0, and unknown flag bits in version 2 are ignored rather
+than rejected (a version 2 parser skips extensions it knows the length
+of; it never guesses at unknown ones, which is why new extensions must
+bump the version).
+
 The resilience layer (:mod:`repro.protocol.resilience`) adds small
 *control* packets under a distinct magic (0x5243, "RC") so they can never
 be confused with share traffic:
@@ -45,12 +60,20 @@ from typing import Iterable, Tuple
 
 from repro.sharing.base import Share
 
-#: Total header size in bytes.
+#: Total header size in bytes (version 1 / flow 0).
 HEADER_SIZE = 16
+#: Header size of a version 2 packet carrying the flow extension.
+FLOW_HEADER_SIZE = 20
 
 _MAGIC = 0x5253
 _VERSION = 1
+_VERSION_FLOW = 2
+#: Flags bit: a 4-byte big-endian flow id follows the fixed header.
+FLAG_FLOW = 0x01
 _STRUCT = struct.Struct(">HBBQBBBB")
+_FLOW_STRUCT = struct.Struct(">I")
+#: Largest flow id the 4-byte extension can carry.
+MAX_FLOW = 2**32 - 1
 
 #: Magic for resilience control packets (0x5243, "RC").
 CONTROL_MAGIC = 0x5243
@@ -60,6 +83,11 @@ CTRL_PROBE_ACK = 2
 CTRL_NACK = 3
 _CTRL_PROBE_STRUCT = struct.Struct(">HBBBQ")
 _CTRL_NACK_STRUCT = struct.Struct(">HBBQBBB")
+#: Version 2 NACK: the flow id sits between the type and the sequence
+#: number so flow-aware repair never answers one tenant's NACK with
+#: another tenant's shares.  Flow-0 NACKs stay version 1 (byte-identical
+#: to pre-flow senders).
+_CTRL_NACK_V2_STRUCT = struct.Struct(">HBBIQBBB")
 
 #: Scheme ids carried on the wire.  Ramp schemes occupy ids 16 + L so the
 #: receiver can recover the block parameter from the id alone.
@@ -81,14 +109,25 @@ class ShareHeader:
     index: int
     k: int
     m: int
+    #: Flow id the share belongs to (0 = the default single-flow stream).
+    flow: int = 0
 
     @property
     def scheme_name(self) -> str:
         return SCHEME_NAMES.get(self.scheme_id, f"unknown({self.scheme_id})")
 
 
-def encode_share(seq: int, share: Share, scheme_name: str) -> bytes:
+def share_packet_size(payload_size: int, flow: int = 0) -> int:
+    """Total wire size of a share packet for a ``payload_size``-byte share."""
+    return payload_size + (HEADER_SIZE if flow == 0 else FLOW_HEADER_SIZE)
+
+
+def encode_share(seq: int, share: Share, scheme_name: str, flow: int = 0) -> bytes:
     """Serialise a share of symbol ``seq`` into a wire packet.
+
+    ``flow`` 0 (the default) emits a version 1 packet, byte-identical to
+    pre-flow encodings; a nonzero flow emits a version 2 packet with the
+    flow extension.
 
     Raises:
         ValueError: for out-of-range fields or unknown scheme names.
@@ -97,18 +136,30 @@ def encode_share(seq: int, share: Share, scheme_name: str) -> bytes:
         raise ValueError(f"unknown scheme {scheme_name!r}")
     if not 0 <= seq < 2**64:
         raise ValueError(f"sequence number out of range: {seq}")
+    if not 0 <= flow <= MAX_FLOW:
+        raise ValueError(f"flow id out of range: {flow}")
     if not 1 <= share.index <= 255 or not 1 <= share.k <= 255 or not 1 <= share.m <= 255:
         raise ValueError(
             f"header fields out of range: index={share.index}, k={share.k}, m={share.m}"
         )
+    if flow == 0:
+        header = _STRUCT.pack(
+            _MAGIC, _VERSION, SCHEME_IDS[scheme_name], seq, share.index, share.k, share.m, 0
+        )
+        return header + share.data
     header = _STRUCT.pack(
-        _MAGIC, _VERSION, SCHEME_IDS[scheme_name], seq, share.index, share.k, share.m, 0
+        _MAGIC, _VERSION_FLOW, SCHEME_IDS[scheme_name], seq,
+        share.index, share.k, share.m, FLAG_FLOW,
     )
-    return header + share.data
+    return header + _FLOW_STRUCT.pack(flow) + share.data
 
 
 def decode_share(packet: bytes) -> Tuple[ShareHeader, Share]:
     """Parse a wire packet back into its header and share.
+
+    Version 1 packets decode as flow 0; version 2 packets carry the flow
+    in the ``FLAG_FLOW`` extension (absent extension means flow 0, and
+    unknown flag bits are ignored).
 
     Raises:
         WireFormatError: for truncated packets, bad magic, or unsupported
@@ -116,14 +167,23 @@ def decode_share(packet: bytes) -> Tuple[ShareHeader, Share]:
     """
     if len(packet) < HEADER_SIZE:
         raise WireFormatError(f"packet of {len(packet)} bytes is shorter than the header")
-    magic, version, scheme_id, seq, index, k, m, _flags = _STRUCT.unpack_from(packet)
+    magic, version, scheme_id, seq, index, k, m, flags = _STRUCT.unpack_from(packet)
     if magic != _MAGIC:
         raise WireFormatError(f"bad magic 0x{magic:04x}")
-    if version != _VERSION:
+    if version not in (_VERSION, _VERSION_FLOW):
         raise WireFormatError(f"unsupported version {version}")
-    header = ShareHeader(scheme_id=scheme_id, seq=seq, index=index, k=k, m=m)
+    flow = 0
+    offset = HEADER_SIZE
+    if version == _VERSION_FLOW and flags & FLAG_FLOW:
+        if len(packet) < FLOW_HEADER_SIZE:
+            raise WireFormatError(
+                f"packet of {len(packet)} bytes is shorter than the flow header"
+            )
+        (flow,) = _FLOW_STRUCT.unpack_from(packet, HEADER_SIZE)
+        offset = FLOW_HEADER_SIZE
+    header = ShareHeader(scheme_id=scheme_id, seq=seq, index=index, k=k, m=m, flow=flow)
     try:
-        share = Share(index=index, data=packet[HEADER_SIZE:], k=k, m=m)
+        share = Share(index=index, data=packet[offset:], k=k, m=m)
     except ValueError as exc:
         raise WireFormatError(str(exc)) from exc
     return header, share
@@ -145,6 +205,7 @@ class ControlMessage:
         k: symbol threshold (NACK only).
         m: symbol multiplicity (NACK only).
         have: share indices the receiver already holds (NACK only).
+        flow: flow the NACKed symbol belongs to (NACK only; 0 = default).
     """
 
     kind: int
@@ -154,6 +215,7 @@ class ControlMessage:
     k: int = 0
     m: int = 0
     have: Tuple[int, ...] = ()
+    flow: int = 0
 
 
 def encode_probe(channel: int, nonce: int) -> bytes:
@@ -174,15 +236,18 @@ def _encode_probe_kind(kind: int, channel: int, nonce: int) -> bytes:
     return _CTRL_PROBE_STRUCT.pack(CONTROL_MAGIC, _VERSION, kind, channel, nonce)
 
 
-def encode_nack(seq: int, k: int, m: int, have: Iterable[int]) -> bytes:
-    """Serialise a repair NACK for symbol ``seq``.
+def encode_nack(seq: int, k: int, m: int, have: Iterable[int], flow: int = 0) -> bytes:
+    """Serialise a repair NACK for symbol ``seq`` of ``flow``.
 
     ``have`` lists the share indices the receiver already holds; the
     sender retransmits from the complement.  Indices only -- a NACK never
-    carries share material.
+    carries share material.  Flow 0 emits the version 1 encoding
+    (byte-identical to pre-flow NACKs); nonzero flows use version 2.
     """
     if not 0 <= seq < 2**64:
         raise ValueError(f"sequence number out of range: {seq}")
+    if not 0 <= flow <= MAX_FLOW:
+        raise ValueError(f"flow id out of range: {flow}")
     if not 1 <= k <= 255 or not 1 <= m <= 255:
         raise ValueError(f"header fields out of range: k={k}, m={m}")
     indices = sorted(set(have))
@@ -192,7 +257,14 @@ def encode_nack(seq: int, k: int, m: int, have: Iterable[int]) -> bytes:
         raise ValueError(
             f"a NACK needs 1 <= held shares < k, got {len(indices)} with k={k}"
         )
-    header = _CTRL_NACK_STRUCT.pack(CONTROL_MAGIC, _VERSION, CTRL_NACK, seq, k, m, len(indices))
+    if flow == 0:
+        header = _CTRL_NACK_STRUCT.pack(
+            CONTROL_MAGIC, _VERSION, CTRL_NACK, seq, k, m, len(indices)
+        )
+    else:
+        header = _CTRL_NACK_V2_STRUCT.pack(
+            CONTROL_MAGIC, _VERSION_FLOW, CTRL_NACK, flow, seq, k, m, len(indices)
+        )
     return header + bytes(indices)
 
 
@@ -213,22 +285,32 @@ def decode_control(packet: bytes) -> ControlMessage:
     magic, version, kind = struct.unpack_from(">HBB", packet)
     if magic != CONTROL_MAGIC:
         raise WireFormatError(f"bad control magic 0x{magic:04x}")
-    if version != _VERSION:
+    if version not in (_VERSION, _VERSION_FLOW):
         raise WireFormatError(f"unsupported version {version}")
     if kind in (CTRL_PROBE, CTRL_PROBE_ACK):
+        # Probes are flow-agnostic (they test a channel, not a stream), so
+        # both versions share the version 1 layout.
         if len(packet) < _CTRL_PROBE_STRUCT.size:
             raise WireFormatError(f"truncated probe packet of {len(packet)} bytes")
         _, _, _, channel, nonce = _CTRL_PROBE_STRUCT.unpack_from(packet)
         return ControlMessage(kind=kind, channel=channel, nonce=nonce)
     if kind == CTRL_NACK:
-        if len(packet) < _CTRL_NACK_STRUCT.size:
-            raise WireFormatError(f"truncated NACK packet of {len(packet)} bytes")
-        _, _, _, seq, k, m, count = _CTRL_NACK_STRUCT.unpack_from(packet)
-        body = packet[_CTRL_NACK_STRUCT.size:]
+        flow = 0
+        if version == _VERSION:
+            layout = _CTRL_NACK_STRUCT
+            if len(packet) < layout.size:
+                raise WireFormatError(f"truncated NACK packet of {len(packet)} bytes")
+            _, _, _, seq, k, m, count = layout.unpack_from(packet)
+        else:
+            layout = _CTRL_NACK_V2_STRUCT
+            if len(packet) < layout.size:
+                raise WireFormatError(f"truncated NACK packet of {len(packet)} bytes")
+            _, _, _, flow, seq, k, m, count = layout.unpack_from(packet)
+        body = packet[layout.size:]
         if len(body) < count:
             raise WireFormatError(f"NACK lists {count} indices but carries {len(body)}")
         have = tuple(body[:count])
         if any(not 1 <= index <= m for index in have):
             raise WireFormatError(f"NACK share indices out of range 1..{m}: {have}")
-        return ControlMessage(kind=kind, seq=seq, k=k, m=m, have=have)
+        return ControlMessage(kind=kind, seq=seq, k=k, m=m, have=have, flow=flow)
     raise WireFormatError(f"unknown control type {kind}")

@@ -7,10 +7,13 @@
   benchmark: offered datagram load at a fixed rate, measuring achieved
   rate and datagram loss over a warmed-up window;
 * :mod:`repro.workloads.echo` -- the paper's custom echo tool: timestamped
-  datagrams echoed back by the far node, reporting mean RTT/2.
+  datagrams echoed back by the far node, reporting mean RTT/2;
+* :mod:`repro.workloads.fleet` -- the fleet-scale multi-tenant workload
+  (many flows, DRR-fair multiplexing, sharded execution; docs/FLEET.md).
 """
 
 from repro.workloads.echo import EchoResult, run_echo
+from repro.workloads.fleet import run_fleet
 from repro.workloads.iperf import IperfResult, run_iperf
 from repro.workloads.setups import (
     MS_PER_UNIT,
@@ -38,4 +41,5 @@ __all__ = [
     "IperfResult",
     "run_echo",
     "EchoResult",
+    "run_fleet",
 ]

@@ -1,0 +1,86 @@
+"""The fleet workload: a multi-tenant many-flow run in one call.
+
+:func:`run_fleet` synthesizes a deterministic fleet (see
+:func:`repro.fleet.spec.synthesize_fleet`), executes it through
+:class:`~repro.fleet.runner.FleetRunner`, and returns the merged
+:class:`~repro.fleet.runner.FleetReport`.  This is the engine behind
+``repro fleet`` and ``benchmarks/bench_fleet.py``; the docs live in
+docs/FLEET.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.fleet import FleetReport, FleetRunner, synthesize_fleet
+
+__all__ = ["run_fleet"]
+
+
+def run_fleet(
+    flows: int = 256,
+    shards: int = 1,
+    flows_per_cell: int = 32,
+    symbols_per_flow: int = 4,
+    flow_rate: float = 4.0,
+    channels: int = 4,
+    loss: float = 0.0,
+    delay: float = 0.05,
+    rate: float = 64.0,
+    symbol_size: int = 64,
+    synthetic: bool = True,
+    sender_batch_limit: int = 8,
+    batch_reconstruct: bool = True,
+    quantum: float = 1.0,
+    queue_limit: int = 64,
+    spec_id: str = "fleet/default",
+    obs: Optional[Any] = None,
+    cache: Optional[Any] = None,
+    retries: int = 0,
+) -> FleetReport:
+    """Run a synthesized fleet of ``flows`` flows over ``shards`` workers.
+
+    Args:
+        flows: fleet size (flows are spread over the default gold /
+            silver / bronze tenants).
+        shards: worker processes; the report is byte-identical for any
+            value (docs/FLEET.md).
+        flows_per_cell: flows sharing one simulated channel set.
+        symbols_per_flow: source symbols each flow offers.
+        flow_rate: per-flow offered rate (symbols per unit time).
+        channels, loss, delay, rate: the per-cell channel shape.
+        symbol_size: payload bytes per source symbol.
+        synthetic: True skips real share payloads (pure scale runs);
+            False splits and reconstructs real secrets.
+        sender_batch_limit: symbols per ``split_many`` call on the send
+            hot path (bit-identical to 1; see docs/FLEET.md).
+        batch_reconstruct: coalesce same-instant reconstructions.
+        quantum: DRR credit per visit (symbols).
+        queue_limit: per-flow mux queue bound.
+        spec_id: sweep spec id (part of every cell's seed derivation).
+        obs: optional Observability for ``fleet_*`` metrics.
+        cache: optional sweep result cache.
+        retries: extra attempts per failed cell.
+    """
+    fleet = synthesize_fleet(flows, rate=flow_rate, symbols=symbols_per_flow)
+    runner = FleetRunner(
+        shards=shards,
+        flows_per_cell=flows_per_cell,
+        retries=retries,
+        cache=cache,
+        obs=obs,
+    )
+    return runner.run(
+        fleet,
+        spec_id=spec_id,
+        channels=channels,
+        loss=loss,
+        delay=delay,
+        rate=rate,
+        symbol_size=symbol_size,
+        synthetic=synthetic,
+        sender_batch_limit=sender_batch_limit,
+        batch_reconstruct=batch_reconstruct,
+        quantum=quantum,
+        queue_limit=queue_limit,
+    )

@@ -5,10 +5,16 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.protocol.wire import (
+    FLAG_FLOW,
+    FLOW_HEADER_SIZE,
     HEADER_SIZE,
+    MAX_FLOW,
     WireFormatError,
+    decode_control,
     decode_share,
+    encode_nack,
     encode_share,
+    share_packet_size,
 )
 from repro.sharing.base import Share
 
@@ -108,3 +114,82 @@ class TestErrors:
         packet[3] = 200  # scheme id
         header, _ = decode_share(bytes(packet))
         assert "unknown" in header.scheme_name
+
+
+class TestFlows:
+    """The version 2 flow extension (fleet multiplexing)."""
+
+    def test_flow_zero_is_byte_identical_to_legacy_encoding(self):
+        """Single-flow senders must keep emitting the exact version 1
+        bytes -- captures, goldens and overhead accounting depend on it."""
+        share = make_share()
+        legacy = encode_share(9, share, "shamir-gf256")
+        explicit = encode_share(9, share, "shamir-gf256", flow=0)
+        assert explicit == legacy
+        assert legacy[2] == 1  # version byte
+        assert len(legacy) == HEADER_SIZE + len(share.data)
+
+    def test_nonzero_flow_roundtrip(self):
+        share = make_share(data=b"x" * 33)
+        packet = encode_share(7, share, "shamir-gf256", flow=0xDEADBEEF)
+        assert packet[2] == 2  # version byte
+        assert packet[15] & FLAG_FLOW
+        assert len(packet) == FLOW_HEADER_SIZE + 33
+        assert len(packet) == share_packet_size(33, flow=0xDEADBEEF)
+        header, decoded = decode_share(packet)
+        assert header.flow == 0xDEADBEEF
+        assert (header.seq, header.index, header.k, header.m) == (7, 2, 2, 3)
+        assert decoded.data == share.data
+
+    def test_v1_packets_decode_as_flow_zero(self):
+        header, _ = decode_share(encode_share(1, make_share(), "shamir-gf256"))
+        assert header.flow == 0
+
+    def test_v2_without_flow_flag_means_flow_zero(self):
+        packet = bytearray(encode_share(1, make_share(), "shamir-gf256"))
+        packet[2] = 2  # bump version, flags stay 0
+        header, decoded = decode_share(bytes(packet))
+        assert header.flow == 0
+        assert decoded.data == b"payload"
+
+    def test_unknown_v2_flag_bits_are_ignored(self):
+        packet = bytearray(encode_share(5, make_share(), "shamir-gf256", flow=42))
+        packet[15] |= 0x80  # a future extension bit
+        header, decoded = decode_share(bytes(packet))
+        assert header.flow == 42
+        assert decoded.data == b"payload"
+
+    def test_flow_out_of_range(self):
+        with pytest.raises(ValueError):
+            encode_share(0, make_share(), "shamir-gf256", flow=MAX_FLOW + 1)
+        with pytest.raises(ValueError):
+            encode_share(0, make_share(), "shamir-gf256", flow=-1)
+
+    def test_max_flow_roundtrip(self):
+        header, _ = decode_share(
+            encode_share(0, make_share(), "shamir-gf256", flow=MAX_FLOW)
+        )
+        assert header.flow == MAX_FLOW
+
+    def test_truncated_flow_extension(self):
+        packet = encode_share(0, make_share(data=b""), "shamir-gf256", flow=3)
+        with pytest.raises(WireFormatError):
+            decode_share(packet[:HEADER_SIZE + 2])
+
+    def test_nack_with_flow_roundtrip(self):
+        packet = encode_nack(31, 3, 5, have=[1, 4], flow=77)
+        message = decode_control(packet)
+        assert message.flow == 77
+        assert (message.seq, message.k, message.m) == (31, 3, 5)
+        assert message.have == (1, 4)
+
+    def test_flow_zero_nack_is_byte_identical_to_legacy(self):
+        legacy = encode_nack(31, 3, 5, have=[1, 4])
+        explicit = encode_nack(31, 3, 5, have=[1, 4], flow=0)
+        assert explicit == legacy
+        assert legacy[2] == 1  # version byte
+        assert decode_control(legacy).flow == 0
+
+    def test_nack_flow_out_of_range(self):
+        with pytest.raises(ValueError):
+            encode_nack(0, 2, 3, have=[1], flow=MAX_FLOW + 1)

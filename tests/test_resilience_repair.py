@@ -13,16 +13,16 @@ def make_buffer(config=CONFIG, seed=5):
     return RepairBuffer(config, RngRegistry(seed).stream("resilience.repair"))
 
 
-def remember(buffer, seq, k=2, m=3, offered_at=0.0):
+def remember(buffer, seq, k=2, m=3, offered_at=0.0, flow=0):
     # Synthetic-mode shares: position i holds share index i+1 (None body).
-    buffer.remember(seq, k, m, offered_at, shares=(None,) * m)
+    buffer.remember(flow, seq, k, m, offered_at, shares=(None,) * m)
 
 
 class TestJobs:
     def test_missing_indices_complement_have(self):
         buffer = make_buffer()
         remember(buffer, seq=7, k=3, m=5)
-        job = buffer.handle_nack(1.0, 7, have=[2, 4])
+        job = buffer.handle_nack(1.0, 0, 7, have=[2, 4])
         assert job is not None
         assert job.seq == 7
         assert (job.k, job.m, job.round) == (3, 5, 1)
@@ -32,15 +32,15 @@ class TestJobs:
     def test_exactly_enough_shares_to_reach_k(self):
         buffer = make_buffer()
         remember(buffer, seq=1, k=3, m=4)
-        job = buffer.handle_nack(1.0, 1, have=[2])
+        job = buffer.handle_nack(1.0, 0, 1, have=[2])
         assert len(job.shares) == 2  # k=3, held 1
 
     def test_backoff_grows_per_round(self):
         buffer = make_buffer()
         remember(buffer, seq=1)
-        first = buffer.handle_nack(1.0, 1, have=[1])
+        first = buffer.handle_nack(1.0, 0, 1, have=[1])
         assert first.send_at == 1.0 + 0.5
-        second = buffer.handle_nack(first.send_at + 0.1, 1, have=[1])
+        second = buffer.handle_nack(first.send_at + 0.1, 0, 1, have=[1])
         assert second.round == 2
         assert second.send_at == (first.send_at + 0.1) + 1.0
 
@@ -52,7 +52,7 @@ class TestJobs:
         for _ in range(2):
             buffer = make_buffer(config=config, seed=9)
             remember(buffer, seq=1)
-            delays.append(buffer.handle_nack(0.0, 1, have=[1]).send_at)
+            delays.append(buffer.handle_nack(0.0, 0, 1, have=[1]).send_at)
         assert delays[0] == delays[1]  # same stream, same jitter
         assert 1.0 <= delays[0] <= 1.5
 
@@ -60,7 +60,7 @@ class TestJobs:
 class TestBounds:
     def test_unknown_seq_is_counted(self):
         buffer = make_buffer()
-        assert buffer.handle_nack(1.0, 99, have=[1]) is None
+        assert buffer.handle_nack(1.0, 0, 99, have=[1]) is None
         assert buffer.unknown_nacks == 1
 
     def test_budget_exhaustion(self):
@@ -68,23 +68,23 @@ class TestBounds:
         remember(buffer, seq=1)
         now = 1.0
         for expected_round in (1, 2):
-            job = buffer.handle_nack(now, 1, have=[1])
+            job = buffer.handle_nack(now, 0, 1, have=[1])
             assert job.round == expected_round
             now = job.send_at + 0.01
-        assert buffer.handle_nack(now, 1, have=[1]) is None
+        assert buffer.handle_nack(now, 0, 1, have=[1]) is None
         assert buffer.budget_exhausted == 1
 
     def test_duplicate_nack_before_send_time(self):
         buffer = make_buffer()
         remember(buffer, seq=1)
-        job = buffer.handle_nack(1.0, 1, have=[1])
-        assert buffer.handle_nack(job.send_at - 0.1, 1, have=[1]) is None
+        job = buffer.handle_nack(1.0, 0, 1, have=[1])
+        assert buffer.handle_nack(job.send_at - 0.1, 0, 1, have=[1]) is None
         assert buffer.duplicate_nacks == 1
 
     def test_nothing_needed_is_a_duplicate(self):
         buffer = make_buffer()
         remember(buffer, seq=1, k=2, m=3)
-        assert buffer.handle_nack(1.0, 1, have=[1, 2]) is None
+        assert buffer.handle_nack(1.0, 0, 1, have=[1, 2]) is None
         assert buffer.duplicate_nacks == 1
 
     def test_buffer_evicts_oldest_when_full(self):
@@ -92,13 +92,13 @@ class TestBounds:
         for seq in range(6):
             remember(buffer, seq)
         assert len(buffer) == 4
-        assert buffer.handle_nack(1.0, 0, have=[1]) is None  # evicted
+        assert buffer.handle_nack(1.0, 0, 0, have=[1]) is None  # evicted
         assert buffer.unknown_nacks == 1
-        assert buffer.handle_nack(1.0, 5, have=[1]) is not None
+        assert buffer.handle_nack(1.0, 0, 5, have=[1]) is not None
 
     def test_forget(self):
         buffer = make_buffer()
         remember(buffer, seq=1)
-        buffer.forget(1)
-        assert buffer.handle_nack(1.0, 1, have=[1]) is None
-        buffer.forget(1)  # idempotent
+        buffer.forget(0, 1)
+        assert buffer.handle_nack(1.0, 0, 1, have=[1]) is None
+        buffer.forget(0, 1)  # idempotent

@@ -99,7 +99,7 @@ class TestDecodeErrors:
 
     def test_bad_version(self):
         packet = bytearray(encode_probe(1, 7))
-        packet[2] += 1
+        packet[2] = 3  # versions 1 (legacy) and 2 (flow-aware) are valid
         with pytest.raises(WireFormatError):
             decode_control(bytes(packet))
 
