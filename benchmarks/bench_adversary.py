@@ -1,0 +1,169 @@
+"""The under-attack trend file: what each canonical adversary costs.
+
+Runs every canonical attack scenario (docs/ADVERSARY.md) through the
+seeded harness and records, per scenario, the delivery ratio, the
+detected-corruption and replay-drop rates, and the delivery digest --
+plus a ``deterministic`` flag from re-running one scenario and comparing
+the full JSON rows byte-for-byte.
+
+The committed ``BENCH_adversary.json`` at the repo root is generated from
+a ``--quick`` run, and ``--check BENCH_adversary.json`` gates CI: the
+simulation is deterministic end to end, so a fresh same-settings run must
+match the committed rows *exactly* -- any drift means attack or protocol
+behaviour changed and the trend file (and its PR) must say so.  Silent
+corruption (``wrong_payloads > 0``) or a broken determinism flag fails
+the gate regardless of the baseline.
+
+Run under pytest-benchmark (``pytest benchmarks/bench_adversary.py -s``)
+or directly::
+
+    PYTHONPATH=src python benchmarks/bench_adversary.py --quick \\
+        --check BENCH_adversary.json
+"""
+
+import argparse
+import json
+import sys
+
+from conftest import run_once
+
+from repro.adversary.active import canonical_attack, run_under_attack
+from repro.adversary.active.scenarios import CANONICAL_ATTACKS
+
+SCHEMA = "bench-adversary/1"
+SEED = 11
+WARMUP = 4.0
+DURATION = 30.0
+#: The attack window starts after warmup and outlives the offer window,
+#: so every offered symbol contends with the adversary.
+START = WARMUP
+
+
+def measure(scenario: str, quick: bool = False) -> dict:
+    """One scenario run; returns a JSON-safe row."""
+    duration = DURATION / 2 if quick else DURATION
+    stop = START + duration
+    row = run_under_attack(
+        canonical_attack(scenario, START, stop),
+        duration=duration,
+        warmup=WARMUP,
+        seed=SEED,
+    )
+    receiver = row["receiver"]
+    stats = row["attack"]["stats"]
+    shares = receiver["shares_received"]
+    return {
+        "scenario": scenario,
+        "delivery_ratio": round(row["delivery_ratio"], 6),
+        "wrong_payloads": row["wrong_payloads"],
+        "reconstruction_errors": receiver["reconstruction_errors"],
+        "corrupt_detected_rate": (
+            round(receiver["corrupt_shares_detected"] / shares, 6) if shares else 0.0
+        ),
+        "replay_dropped_rate": (
+            round(receiver["replayed_shares_dropped"] / shares, 6) if shares else 0.0
+        ),
+        "shares_corrupted": stats["shares_corrupted"],
+        "shares_forged": stats["shares_forged"],
+        "packets_replayed": stats["packets_replayed"],
+        "adaptive_jams": stats["adaptive_jams"],
+        "targeted_corruptions": stats["targeted_corruptions"],
+        "digest": row["digest"],
+    }
+
+
+def run_adversary_bench(quick: bool = False) -> dict:
+    """All scenarios plus the same-seed determinism flag."""
+    scenarios = {name: measure(name, quick=quick) for name in sorted(CANONICAL_ATTACKS)}
+    replay = measure(sorted(CANONICAL_ATTACKS)[0], quick=quick)
+    deterministic = json.dumps(replay, sort_keys=True) == json.dumps(
+        scenarios[sorted(CANONICAL_ATTACKS)[0]], sort_keys=True
+    )
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "seed": SEED,
+        "deterministic": deterministic,
+        "scenarios": scenarios,
+    }
+
+
+def check_against_baseline(results: dict, baseline: dict) -> "list[str]":
+    """Exact-reproducibility gate; returns failure messages."""
+    failures = []
+    if not results["deterministic"]:
+        failures.append("deterministic: same-seed replay diverged within this run")
+    for name, row in sorted(results["scenarios"].items()):
+        if row["wrong_payloads"]:
+            failures.append(
+                f"{name}: {row['wrong_payloads']} silently corrupted payloads delivered"
+            )
+    if baseline.get("schema") != results["schema"]:
+        failures.append(
+            f"schema: committed {baseline.get('schema')!r} != {results['schema']!r} "
+            "(regenerate BENCH_adversary.json)"
+        )
+        return failures
+    if baseline.get("quick") != results["quick"] or baseline.get("seed") != results["seed"]:
+        failures.append(
+            "settings: committed file was generated with different --quick/seed; "
+            "rerun with matching settings"
+        )
+        return failures
+    for name, row in sorted(results["scenarios"].items()):
+        committed = baseline["scenarios"].get(name)
+        if committed is None:
+            failures.append(f"{name}: scenario missing from the committed file")
+            continue
+        if committed != row:
+            drift = sorted(
+                key for key in set(row) | set(committed)
+                if row.get(key) != committed.get(key)
+            )
+            failures.append(
+                f"{name}: run diverges from the committed rows on {drift} "
+                "(the simulation is deterministic -- this is a behaviour "
+                "change; regenerate BENCH_adversary.json and explain it)"
+            )
+    return failures
+
+
+def test_adversary_scenarios(benchmark):
+    results = run_once(benchmark, run_adversary_bench, quick=True)
+    print("\n" + json.dumps(results, indent=2, sort_keys=True))
+    assert results["deterministic"]
+    for name, row in results["scenarios"].items():
+        assert row["wrong_payloads"] == 0, name
+        assert row["delivery_ratio"] > 0, name
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="halved window for CI smoke")
+    parser.add_argument("--json", metavar="PATH", help="write results as JSON to PATH")
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE",
+        help="compare against a committed BENCH_adversary.json; exit 1 on drift",
+    )
+    args = parser.parse_args()
+    results = run_adversary_bench(quick=args.quick)
+    print(json.dumps(results, indent=2, sort_keys=True))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    if args.check:
+        with open(args.check) as handle:
+            baseline = json.load(handle)
+        failures = check_against_baseline(results, baseline)
+        if failures:
+            for failure in failures:
+                print(f"FAIL {failure}", file=sys.stderr)
+            sys.exit(1)
+        print("adversary bench check: ok")
+
+
+if __name__ == "__main__":
+    main()

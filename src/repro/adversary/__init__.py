@@ -16,8 +16,24 @@ package provides:
   :mod:`repro.sweep` (process-pool fan-out, cacheable);
 * :mod:`~repro.adversary.riskassess` -- the HMM-based network risk
   assessment the paper cites as the source of the z vector: IDS alert
-  streams filtered into per-channel compromise probabilities.
+  streams filtered into per-channel compromise probabilities;
+* :mod:`~repro.adversary.active` -- the *active* adversary: declarative
+  :class:`~repro.adversary.active.plan.AttackPlan` timelines of
+  corruption/forgery/replay/hold/jam primitives plus strategic attackers
+  (adaptive low-risk partitioner, targeted symbol corruptor), armed
+  against live links by an
+  :class:`~repro.adversary.active.engine.AttackInjector` (see
+  docs/ADVERSARY.md).
 """
+
+from repro.adversary.active import (
+    AttackEvent,
+    AttackInjector,
+    AttackPlan,
+    CANONICAL_ATTACKS,
+    canonical_attack,
+    run_under_attack,
+)
 
 from repro.adversary.eavesdropper import Eavesdropper
 from repro.adversary.montecarlo import (
@@ -34,6 +50,12 @@ from repro.adversary.riskassess import (
 )
 
 __all__ = [
+    "AttackEvent",
+    "AttackInjector",
+    "AttackPlan",
+    "CANONICAL_ATTACKS",
+    "canonical_attack",
+    "run_under_attack",
     "Eavesdropper",
     "estimate_schedule_properties",
     "estimate_schedule_properties_sweep",

@@ -1,0 +1,134 @@
+"""Strategic attackers: adversaries with a policy, not just a dice roll.
+
+Two attackers that exploit *model knowledge* rather than raw channel
+access:
+
+* :class:`AdaptiveAttacker` -- knows the per-channel compromise risks the
+  planner's schedule is built on, and spends a bounded jam budget on the
+  *lowest*-risk channels.  Downing the channels the planner trusts most
+  is the worst-case move against a risk-weighted schedule: surviving
+  traffic is forced onto the riskier channels, and a resilience layer
+  holding a κ floor must either replan around the partition or pause
+  admission (both detectable; see the κ-floor property suite).
+* :class:`TargetedCorruptor` -- concentrates corruption on every
+  ``period``-th symbol, rewriting its shares on ``width`` channels at
+  once.  Spread across symbols the same corruption volume stays within
+  ``max_correctable_errors`` and robust reconstruction shrugs it off;
+  concentrated, ``width > e`` corrupted shares of *one* symbol exceed the
+  unique-decoding radius and force a (detected, counted) reconstruction
+  failure -- never a silently wrong delivery, because independently
+  random rewrites cannot imitate a consistent degree-(k-1) polynomial.
+
+Both are driven by the :class:`~repro.adversary.active.engine.AttackInjector`
+via ``adaptive_start``/``target_start`` plan events and share its
+determinism rules (engine-scheduled ticks, named rng streams only).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.netsim.packet import Datagram
+
+
+class AdaptiveAttacker:
+    """Budget-bounded jammer that partitions the lowest-risk channels.
+
+    Every ``period`` it ranks channels by ``(risk, index)`` ascending and
+    jams the first ``width`` that are currently up, spending one budget
+    unit per jam; each jam heals after ``jam_for``.  Stops when the
+    budget is exhausted or ``adaptive_stop`` fires (in-flight unjams
+    still heal -- the adversary walking away does not repair the damage
+    early, nor leave permanent damage).
+    """
+
+    def __init__(
+        self,
+        injector,
+        budget: int,
+        period: float,
+        width: int,
+        jam_for: float,
+        direction: str = "both",
+    ):
+        self.injector = injector
+        self.budget = budget
+        self.period = period
+        self.width = width
+        self.jam_for = jam_for
+        self.direction = direction
+        self._gen = 0
+
+    def start(self) -> None:
+        self._gen += 1
+        self.injector.engine.schedule(self.period, self._tick, self._gen)
+
+    def stop(self) -> None:
+        self._gen += 1
+
+    def _ranked_channels(self) -> list:
+        """Channel indices, least risky first (index breaks ties)."""
+        risks = self.injector.risks
+        return sorted(range(len(risks)), key=lambda index: (risks[index], index))
+
+    def _is_up(self, channel: int) -> bool:
+        duplex = self.injector.duplex[channel]
+        if self.direction == "fwd":
+            return duplex.forward.up
+        if self.direction == "rev":
+            return duplex.reverse.up
+        return duplex.forward.up or duplex.reverse.up
+
+    def _tick(self, gen: int) -> None:
+        if gen != self._gen or self.budget <= 0:
+            return
+        jammed = 0
+        for channel in self._ranked_channels():
+            if jammed >= self.width or self.budget <= 0:
+                break
+            if not self._is_up(channel):
+                continue
+            self.injector.jam_channel(channel, self.direction)
+            self.injector.stats.adaptive_jams += 1
+            self.budget -= 1
+            jammed += 1
+            self.injector.engine.schedule(
+                self.jam_for, self.injector.unjam_channel, channel, self.direction
+            )
+        if self.budget > 0:
+            self.injector.engine.schedule(self.period, self._tick, gen)
+
+
+class TargetedCorruptor:
+    """Concentrates share corruption on every ``period``-th symbol.
+
+    Watches share deliveries (via the injector's on-path taps), assigns
+    each distinct ``(flow, seq)`` an arrival ordinal, and marks every
+    ``period``-th symbol as targeted: all of its shares delivered on the
+    ``width`` lowest-indexed channels are rewritten with attacker
+    randomness.  Forged packets (no sender metadata) are never targeted
+    -- the adversary does not corrupt its own injections.
+    """
+
+    def __init__(self, injector, period: int, width: int, direction: str = "fwd"):
+        self.injector = injector
+        self.period = period
+        self.width = width
+        self.direction = direction
+        self._ordinals: Dict[Tuple[int, int], int] = {}
+        self._next_ordinal = 0
+
+    def should_corrupt(self, channel: int, datagram: Datagram) -> bool:
+        """Observe one delivery; True when its share should be rewritten."""
+        seq = datagram.meta.get("seq")
+        if seq is None or "forged" in datagram.meta:
+            return False
+        key = (datagram.meta.get("flow", 0), seq)
+        ordinal = self._ordinals.get(key)
+        if ordinal is None:
+            ordinal = self._next_ordinal
+            self._next_ordinal += 1
+            self._ordinals[key] = ordinal
+            if ordinal % self.period == 0:
+                self.injector.stats.targeted_symbols += 1
+        return ordinal % self.period == 0 and channel < self.width

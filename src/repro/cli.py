@@ -256,6 +256,67 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if runner.stats.failures else 0
 
 
+def cmd_attack(args: argparse.Namespace) -> int:
+    """Run the canonical active-adversary scenarios as a seeded sweep.
+
+    Each selected scenario runs the under-attack harness across the κ grid
+    through the same orchestrator as ``repro sweep`` (``--jobs`` fan-out,
+    resumable cache, per-point seeds derived from point identity), so two
+    same-seed invocations produce byte-identical ``--out`` files.  See
+    docs/ADVERSARY.md.
+    """
+    from repro.adversary.active.scenarios import CANONICAL_ATTACKS
+    from repro.experiments import attack
+    from repro.experiments.reporting import rows_to_table
+    from repro.obs import Observability
+    from repro.sweep import ResultCache, SweepRunner
+
+    scenarios = (
+        tuple(sorted(CANONICAL_ATTACKS))
+        if args.scenario in (None, "all")
+        else (args.scenario,)
+    )
+    spec_kwargs = {"scenarios": scenarios, "resilience": args.resilience}
+    if args.kappa:
+        spec_kwargs["kappas"] = tuple(args.kappa)
+    if args.duration is not None:
+        spec_kwargs["duration"] = args.duration
+    if args.warmup is not None:
+        spec_kwargs["warmup"] = args.warmup
+    if args.seed is not None:
+        spec_kwargs["seed"] = args.seed
+    spec_kwargs["quick"] = args.quick
+    spec = attack.attack_spec(**spec_kwargs)
+
+    cache = None
+    if args.resume or args.cache_dir is not None:
+        cache = ResultCache(args.cache_dir or "results/cache")
+    obs = Observability.create()
+    runner = SweepRunner(jobs=args.jobs, retries=args.retries, cache=cache, obs=obs)
+    results = runner.run(spec, attack.attack_point)
+
+    rows = [r.value for r in results if r.ok and r.value is not None]
+    if rows:
+        print(rows_to_table(rows, sorted(rows[0].keys()), precision=4))
+    for result in results:
+        if not result.ok:
+            print(
+                f"point {result.point.index} {result.point.params} failed "
+                f"after {result.attempts} attempts:\n{result.error}",
+                file=sys.stderr,
+            )
+    print(runner.stats.summary())
+    silent = sum(row["wrong_payloads"] for row in rows)
+    if silent:
+        print(f"SILENT CORRUPTION: {silent} wrong payloads delivered", file=sys.stderr)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(rows, handle, sort_keys=True, indent=1)
+            handle.write("\n")
+        print(f"rows           = {len(rows)} -> {args.out}")
+    return 1 if runner.stats.failures or silent else 0
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     from repro.obs import Observability, write_metrics, write_trace
     from repro.protocol.config import ProtocolConfig
@@ -519,6 +580,62 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--out", help="also write the result rows to this JSON file")
     sweep.set_defaults(func=cmd_sweep)
+
+    attack = sub.add_parser(
+        "attack",
+        help="run the canonical active-adversary scenarios as a sweep",
+        description="Run the under-attack scenario suite (corruption "
+        "storm, forged injection, replay flood, targeted corruption, "
+        "targeted partition) across a κ grid.  Points run through the "
+        "sweep orchestrator, so --jobs fan-out and cache-served re-runs "
+        "are byte-identical to a serial cold run.  Exits non-zero if any "
+        "point fails or any scenario delivers a silently corrupted "
+        "payload.  See docs/ADVERSARY.md.",
+    )
+    attack.add_argument(
+        "--scenario",
+        choices=["all", "corruption_storm", "forged_injection", "replay_flood",
+                 "targeted_corruption", "targeted_partition"],
+        default="all",
+        help="which canonical attack to run (default: all)",
+    )
+    attack.add_argument(
+        "--kappa",
+        action="append",
+        type=float,
+        metavar="K",
+        help="κ value to sweep (repeatable; default 1, 2, 3)",
+    )
+    attack.add_argument("--duration", type=float, help="offer window per point")
+    attack.add_argument("--warmup", type=float, help="settling time per point")
+    attack.add_argument("--seed", type=int, help="root seed (per-point seeds derive from it)")
+    attack.add_argument("--quick", action="store_true", help="short windows, two κ values")
+    attack.add_argument(
+        "--resilience",
+        action="store_true",
+        help="arm the quarantine/failover/repair layer during the attacks",
+    )
+    attack.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (default 1 = serial; N>1 gives identical results, faster)",
+    )
+    attack.add_argument(
+        "--retries", type=int, default=0, help="extra attempts per failing point"
+    )
+    attack.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse and extend the on-disk result cache (resume after interrupt)",
+    )
+    attack.add_argument(
+        "--cache-dir",
+        help="cache location (default results/cache; implies caching when given)",
+    )
+    attack.add_argument("--out", help="also write the result rows to this JSON file")
+    attack.set_defaults(func=cmd_attack)
 
     fleet = sub.add_parser(
         "fleet",

@@ -155,6 +155,13 @@ class Link:
         self._receiver: Optional[Callable[[Datagram], None]] = None
         self._writable_watchers: "list[Callable[[], None]]" = []
         self._transmit_watchers: "list[Callable[[Datagram], None]]" = []
+        #: On-path adversary hook consulted on every delivery, *after* the
+        #: benign corruption model and right before the receiver callback.
+        #: It may pass the datagram through unchanged, substitute a
+        #: mutated copy, or return None to swallow it (e.g. to hold it for
+        #: delayed, reordered re-injection via :meth:`inject`).  Installed
+        #: by :class:`repro.adversary.active.engine.AttackInjector`.
+        self.attack_tap: Optional[Callable[[Datagram], Optional[Datagram]]] = None
 
     def set_receiver(self, callback: Callable[[Datagram], None]) -> None:
         """Register the delivery callback (the far end's receive path)."""
@@ -342,8 +349,27 @@ class Link:
         ):
             datagram = self._tamper(datagram)
             self.stats.corruptions += 1
+        if self.attack_tap is not None:
+            tapped = self.attack_tap(datagram)
+            if tapped is None:
+                return
+            datagram = tapped
         if self._receiver is not None:
             self._receiver(datagram)
+
+    def inject(self, datagram: Datagram) -> bool:
+        """Hand a datagram straight to the receiver, bypassing the pipeline.
+
+        The active adversary's write primitive: forged, replayed and
+        released-after-hold packets enter here -- no queue, no loss draw,
+        no attack tap (the adversary does not attack its own traffic).
+        Fails (returns False) when the link is down or unwired: even an
+        on-path adversary cannot deliver over a cut wire.
+        """
+        if not self.up or self._receiver is None:
+            return False
+        self._receiver(datagram)
+        return True
 
     def _tamper(self, datagram: Datagram) -> Datagram:
         """Flip one payload byte (never a no-op: XOR with a nonzero value)."""

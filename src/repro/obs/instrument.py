@@ -227,6 +227,7 @@ _RECEIVER_COUNTERS = {
     "reconstruction_errors": "sim_receiver_reconstruction_errors_total",
     "cpu_rejected_shares": "sim_receiver_cpu_rejected_total",
     "corrupt_shares_detected": "sim_receiver_corrupt_shares_total",
+    "replayed_shares_dropped": "sim_receiver_replayed_shares_total",
     "repair_extensions": "sim_receiver_repair_extensions_total",
     "repair_recovered": "sim_receiver_repair_recovered_total",
 }
@@ -289,6 +290,55 @@ def instrument_node(obs: Observability, node, role: Optional[str] = None) -> Non
     if obs.tracer.enabled:
         sender.tracer = obs.tracer
         receiver.tracer = obs.tracer
+
+
+# -- active adversary -------------------------------------------------------------
+
+#: AttackStats field -> exported counter name (docs/ADVERSARY.md).
+_ATTACK_COUNTERS = {
+    "shares_corrupted": "adv_shares_corrupted_total",
+    "control_corrupted": "adv_control_corrupted_total",
+    "shares_forged": "adv_shares_forged_total",
+    "packets_replayed": "adv_packets_replayed_total",
+    "packets_captured": "adv_packets_captured_total",
+    "packets_held": "adv_packets_held_total",
+    "packets_released": "adv_packets_released_total",
+    "jams": "adv_jams_total",
+    "unjams": "adv_unjams_total",
+    "adaptive_jams": "adv_adaptive_jams_total",
+    "targeted_symbols": "adv_targeted_symbols_total",
+    "targeted_corruptions": "adv_targeted_corruptions_total",
+    "injected_dropped": "adv_injected_dropped_total",
+}
+
+
+def instrument_attack(obs: Observability, injector) -> None:
+    """Wire an :class:`~repro.adversary.active.engine.AttackInjector`.
+
+    Registers a pull collector exporting the adversary's stat ledger as
+    ``adv_*`` counters, the applied-event counts labelled by action, and
+    the plan size; attaches the tracer so every applied event emits an
+    ``attack_applied`` trace.
+    """
+    if not obs.enabled:
+        return
+    registry = obs.registry
+    counters = {
+        field: registry.counter(metric) for field, metric in _ATTACK_COUNTERS.items()
+    }
+    plan_gauge = registry.gauge("adv_plan_events")
+    injector.tracer = obs.tracer
+
+    def collect() -> None:
+        stats = injector.stats
+        for field, counter in counters.items():
+            counter.value = float(getattr(stats, field))
+        summary = injector.summary()
+        for action, count in sorted(summary["by_action"].items()):
+            registry.counter("adv_events_applied_total", action=action).value = float(count)
+        plan_gauge.set(len(injector.plan))
+
+    registry.register_collector(collect)
 
 
 # -- resilience -------------------------------------------------------------------

@@ -59,6 +59,11 @@ class ReceiverStats:
     reconstruction_errors: int = 0
     cpu_rejected_shares: int = 0
     corrupt_shares_detected: int = 0
+    #: Duplicate (flow, seq, index) arrivals whose payload disagreed with
+    #: the share already held -- the signature of a tampered replay or a
+    #: forgery colliding with a live slot.  The first-arrival share is
+    #: kept; the mismatching copy is dropped (see docs/ADVERSARY.md).
+    replayed_shares_dropped: int = 0
     #: Timeout evictions deferred by the resilience repair hook (a NACK
     #: was sent and the entry granted extra time).
     repair_extensions: int = 0
@@ -248,7 +253,15 @@ class ReassemblyBuffer:
         if entry is None:
             entry = self._open_entry(flow, seq, k, m, datagram)
         if index in entry.shares:
-            self.stats.count(flow, "duplicate_shares")
+            existing = entry.shares[index]
+            if share is not None and existing is not None and existing.data != share.data:
+                # Same (flow, seq, index) slot, different payload: replay
+                # defense drops the newcomer and keeps the original.
+                # Aggregate-only counter (not per-flow) so the flow-0 JSON
+                # stat shape is preserved.
+                self.stats.replayed_shares_dropped += 1
+            else:
+                self.stats.count(flow, "duplicate_shares")
             return
         # Synthetic mode stores a placeholder; real mode stores the share.
         entry.shares[index] = share

@@ -66,6 +66,9 @@ HEADER_SIZE = 16
 FLOW_HEADER_SIZE = 20
 
 _MAGIC = 0x5253
+#: Public alias of the share-packet magic (0x5253, "RS") for tooling that
+#: classifies raw packets (e.g. the active-adversary primitives).
+SHARE_MAGIC = _MAGIC
 _VERSION = 1
 _VERSION_FLOW = 2
 #: Flags bit: a 4-byte big-endian flow id follows the fixed header.
@@ -167,7 +170,10 @@ def decode_share(packet: bytes) -> Tuple[ShareHeader, Share]:
     """
     if len(packet) < HEADER_SIZE:
         raise WireFormatError(f"packet of {len(packet)} bytes is shorter than the header")
-    magic, version, scheme_id, seq, index, k, m, flags = _STRUCT.unpack_from(packet)
+    try:
+        magic, version, scheme_id, seq, index, k, m, flags = _STRUCT.unpack_from(packet)
+    except struct.error as exc:  # belt and braces: adversarial bytes never
+        raise WireFormatError(str(exc)) from exc  # escape as struct.error
     if magic != _MAGIC:
         raise WireFormatError(f"bad magic 0x{magic:04x}")
     if version not in (_VERSION, _VERSION_FLOW):
@@ -179,7 +185,10 @@ def decode_share(packet: bytes) -> Tuple[ShareHeader, Share]:
             raise WireFormatError(
                 f"packet of {len(packet)} bytes is shorter than the flow header"
             )
-        (flow,) = _FLOW_STRUCT.unpack_from(packet, HEADER_SIZE)
+        try:
+            (flow,) = _FLOW_STRUCT.unpack_from(packet, HEADER_SIZE)
+        except struct.error as exc:
+            raise WireFormatError(str(exc)) from exc
         offset = FLOW_HEADER_SIZE
     header = ShareHeader(scheme_id=scheme_id, seq=seq, index=index, k=k, m=m, flow=flow)
     try:
@@ -282,7 +291,10 @@ def decode_control(packet: bytes) -> ControlMessage:
     """
     if len(packet) < 4:
         raise WireFormatError(f"control packet of {len(packet)} bytes is too short")
-    magic, version, kind = struct.unpack_from(">HBB", packet)
+    try:
+        magic, version, kind = struct.unpack_from(">HBB", packet)
+    except struct.error as exc:
+        raise WireFormatError(str(exc)) from exc
     if magic != CONTROL_MAGIC:
         raise WireFormatError(f"bad control magic 0x{magic:04x}")
     if version not in (_VERSION, _VERSION_FLOW):
@@ -292,20 +304,26 @@ def decode_control(packet: bytes) -> ControlMessage:
         # both versions share the version 1 layout.
         if len(packet) < _CTRL_PROBE_STRUCT.size:
             raise WireFormatError(f"truncated probe packet of {len(packet)} bytes")
-        _, _, _, channel, nonce = _CTRL_PROBE_STRUCT.unpack_from(packet)
+        try:
+            _, _, _, channel, nonce = _CTRL_PROBE_STRUCT.unpack_from(packet)
+        except struct.error as exc:
+            raise WireFormatError(str(exc)) from exc
         return ControlMessage(kind=kind, channel=channel, nonce=nonce)
     if kind == CTRL_NACK:
         flow = 0
-        if version == _VERSION:
-            layout = _CTRL_NACK_STRUCT
-            if len(packet) < layout.size:
-                raise WireFormatError(f"truncated NACK packet of {len(packet)} bytes")
-            _, _, _, seq, k, m, count = layout.unpack_from(packet)
-        else:
-            layout = _CTRL_NACK_V2_STRUCT
-            if len(packet) < layout.size:
-                raise WireFormatError(f"truncated NACK packet of {len(packet)} bytes")
-            _, _, _, flow, seq, k, m, count = layout.unpack_from(packet)
+        try:
+            if version == _VERSION:
+                layout = _CTRL_NACK_STRUCT
+                if len(packet) < layout.size:
+                    raise WireFormatError(f"truncated NACK packet of {len(packet)} bytes")
+                _, _, _, seq, k, m, count = layout.unpack_from(packet)
+            else:
+                layout = _CTRL_NACK_V2_STRUCT
+                if len(packet) < layout.size:
+                    raise WireFormatError(f"truncated NACK packet of {len(packet)} bytes")
+                _, _, _, flow, seq, k, m, count = layout.unpack_from(packet)
+        except struct.error as exc:
+            raise WireFormatError(str(exc)) from exc
         body = packet[layout.size:]
         if len(body) < count:
             raise WireFormatError(f"NACK lists {count} indices but carries {len(body)}")

@@ -18,12 +18,14 @@ from typing import Optional
 from repro.core.channel import ChannelSet
 from repro.core.planner import Requirements
 from repro.core.schedule import ShareSchedule
+from repro.adversary.active.plan import AttackPlan
 from repro.netsim.faults import FaultPlan
 from repro.netsim.host import CpuModel
 from repro.netsim.rng import RngRegistry
 from repro.netsim.trace import DelayStats, RateMeter
 from repro.obs.instrument import (
     Observability,
+    instrument_attack,
     instrument_network,
     instrument_node,
     instrument_resilience,
@@ -52,6 +54,9 @@ class IperfResult:
             measurement window (unit times).
         fault_summary: applied fault-event summary when a fault plan was
             injected, else ``None``.
+        attack_summary: applied attack-event summary (incl. the
+            adversary's stat ledger) when an attack plan was armed, else
+            ``None``.
         resilience_summary: resilience-layer summary (quarantines,
             failovers, repair counters, transitions) when the layer was
             enabled, else ``None``.
@@ -67,6 +72,7 @@ class IperfResult:
     receiver_stats: dict
     delay_stats: DelayStats = field(default_factory=DelayStats)
     fault_summary: Optional[dict] = None
+    attack_summary: Optional[dict] = None
     resilience_summary: Optional[dict] = None
 
     @property
@@ -112,6 +118,7 @@ def run_iperf(
     cpu_queue_limit: int = 64,
     queue_limit: int = 16,
     fault_plan: Optional[FaultPlan] = None,
+    attack_plan: Optional[AttackPlan] = None,
     obs: Optional[Observability] = None,
     resilience: Optional[ResilienceConfig] = None,
     requirements: Optional[Requirements] = None,
@@ -135,6 +142,10 @@ def run_iperf(
         queue_limit: per-link queue capacity in packets.
         fault_plan: optional deterministic fault timeline (see
             :mod:`repro.netsim.faults`) armed against the run's channels.
+        attack_plan: optional active-adversary timeline (see
+            :mod:`repro.adversary.active` and docs/ADVERSARY.md) armed
+            against the run's channels; the adaptive attacker sees the
+            channel set's own risk ranking.
         obs: optional :class:`~repro.obs.instrument.Observability` bundle;
             when given, the network, fault injector and both protocol
             nodes are instrumented and the caller snapshots
@@ -155,6 +166,9 @@ def run_iperf(
     )
     engine = network.engine
     injector = network.apply_faults(fault_plan) if fault_plan is not None else None
+    attacker = (
+        network.apply_attack(attack_plan, registry) if attack_plan is not None else None
+    )
     sender_cpu = (
         CpuModel(engine, sender_cpu_capacity) if sender_cpu_capacity else None
     )
@@ -182,6 +196,8 @@ def run_iperf(
         instrument_node(obs, node_b)
         if manager is not None:
             instrument_resilience(obs, manager)
+        if attacker is not None:
+            instrument_attack(obs, attacker)
 
     meter = RateMeter()
     delays = DelayStats()
@@ -233,5 +249,6 @@ def run_iperf(
         receiver_stats=node_b.receiver.stats.as_dict(),
         delay_stats=delays,
         fault_summary=injector.summary() if injector is not None else None,
+        attack_summary=attacker.summary() if attacker is not None else None,
         resilience_summary=manager.summary() if manager is not None else None,
     )

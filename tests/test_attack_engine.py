@@ -1,0 +1,146 @@
+"""The attack injector: validation, event application, link hooks, ledger."""
+
+import pytest
+
+from repro.adversary.active import AttackPlan
+from repro.adversary.active.engine import AttackInjector
+from repro.adversary.active.harness import default_channels, run_under_attack
+from repro.adversary.active.plan import AttackEvent
+from repro.netsim.packet import Datagram
+from repro.netsim.rng import RngRegistry
+from repro.protocol.remicss import PointToPointNetwork
+
+
+def make_network(seed=1):
+    registry = RngRegistry(seed)
+    network = PointToPointNetwork(default_channels(), 64, registry)
+    return network, registry
+
+
+class TestValidation:
+    def test_channel_out_of_bounds(self):
+        network, registry = make_network()
+        plan = AttackPlan().jam(1.0, channel=9)
+        with pytest.raises(ValueError, match="targets channel 9"):
+            AttackInjector(network.engine, network.duplex, plan, registry)
+
+    def test_adaptive_requires_risks(self):
+        network, registry = make_network()
+        plan = AttackPlan().adaptive(1.0, budget=2, period=1.0, width=1, jam_for=1.0)
+        with pytest.raises(ValueError, match="needs per-channel risks"):
+            AttackInjector(network.engine, network.duplex, plan, registry)
+
+    def test_adaptive_width_bounded_by_channels(self):
+        network, registry = make_network()
+        plan = AttackPlan().adaptive(1.0, budget=2, period=1.0, width=9, jam_for=1.0)
+        with pytest.raises(ValueError, match="width 9 exceeds"):
+            AttackInjector(
+                network.engine, network.duplex, plan, registry, risks=[0.1] * 5
+            )
+
+    def test_risks_length_must_match(self):
+        network, registry = make_network()
+        with pytest.raises(ValueError, match="3 risks for 5 channels"):
+            AttackInjector(
+                network.engine, network.duplex, AttackPlan(), registry, risks=[0.1] * 3
+            )
+
+    def test_arm_is_once_only(self):
+        network, registry = make_network()
+        injector = network.apply_attack(AttackPlan(), registry)
+        with pytest.raises(RuntimeError, match="already armed"):
+            injector.arm()
+
+
+class TestJamEvents:
+    def test_jam_downs_both_directions_and_unjam_heals(self):
+        network, registry = make_network()
+        plan = AttackPlan().jam(1.0, channel=2).unjam(3.0, channel=2)
+        injector = network.apply_attack(plan, registry)
+        network.engine.run_until(2.0)
+        assert not network.duplex[2].forward.up
+        assert not network.duplex[2].reverse.up
+        assert network.duplex[0].forward.up
+        network.engine.run_until(4.0)
+        assert network.duplex[2].forward.up
+        assert network.duplex[2].reverse.up
+        assert injector.stats.jams == 1 and injector.stats.unjams == 1
+
+    def test_channel_none_jams_everything(self):
+        network, registry = make_network()
+        injector = network.apply_attack(AttackPlan().jam(1.0), registry)
+        network.engine.run_until(2.0)
+        assert all(not d.forward.up and not d.reverse.up for d in network.duplex)
+        assert injector.stats.jams == len(network.duplex)
+
+    def test_directional_jam_leaves_reverse_up(self):
+        network, registry = make_network()
+        network.apply_attack(
+            AttackPlan([AttackEvent(1.0, "jam", 1, "fwd")]), registry
+        )
+        network.engine.run_until(2.0)
+        assert not network.duplex[1].forward.up
+        assert network.duplex[1].reverse.up
+
+
+class TestEventLog:
+    def test_log_and_summary_record_applied_events(self):
+        network, registry = make_network()
+        plan = AttackPlan().jam(2.0, channel=0).unjam(5.0, channel=0)
+        injector = network.apply_attack(plan, registry)
+        network.engine.run_until(10.0)
+        assert [(t, e.action) for t, e in injector.log] == [(2.0, "jam"), (5.0, "unjam")]
+        summary = injector.summary()
+        assert summary["applied"] == 2
+        assert summary["by_action"] == {"jam": 1, "unjam": 1}
+        assert summary["first_at"] == 2.0 and summary["last_at"] == 5.0
+        assert summary["stats"]["jams"] == 1
+
+    def test_past_events_fire_immediately_on_arm(self):
+        network, registry = make_network()
+        network.engine.run_until(5.0)
+        injector = network.apply_attack(AttackPlan().jam(1.0, channel=0), registry)
+        network.engine.run_until(6.0)
+        assert injector.log and injector.log[0][0] == 5.0
+
+
+class TestHoldAndReorder:
+    def test_held_packets_are_released_not_lost(self):
+        plan = (
+            AttackPlan()
+            .hold(4.0, hold=0.5, batch=4, channel=0)
+            .end_hold(20.0, channel=0)
+        )
+        row = run_under_attack(plan, duration=16.0, seed=5)
+        stats = row["attack"]["stats"]
+        assert stats["packets_held"] > 0
+        assert stats["packets_released"] + stats["injected_dropped"] == stats["packets_held"]
+        assert row["wrong_payloads"] == 0
+        assert row["delivered"] > 0
+
+    def test_hold_stop_flushes_remainder(self):
+        # A huge batch never fills, so everything held drains at hold_stop.
+        plan = (
+            AttackPlan()
+            .hold(4.0, hold=0.5, batch=10_000, channel=0)
+            .end_hold(20.0, channel=0)
+        )
+        row = run_under_attack(plan, duration=16.0, seed=5)
+        stats = row["attack"]["stats"]
+        assert stats["packets_held"] > 0
+        assert stats["packets_released"] + stats["injected_dropped"] == stats["packets_held"]
+
+
+class TestCaptureRing:
+    def test_capture_ring_is_bounded(self):
+        network, registry = make_network()
+        plan = AttackPlan().replay(1.0, rate=1.0).end_replay(2.0)
+        injector = AttackInjector(
+            network.engine, network.duplex, plan, registry, capture_limit=4
+        )
+        injector.arm()
+        state = injector._states[0]
+        for i in range(10):
+            state._capture(Datagram(size=8, payload=bytes([i] * 8), sent_at=0.0))
+        assert len(state.captured) == 4
+        assert injector.stats.packets_captured == 10

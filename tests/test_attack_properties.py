@@ -1,0 +1,129 @@
+"""The under-attack acceptance properties.
+
+The centerpiece of the active-adversary engine: under **every** canonical
+attack scenario the protocol must either recover (robust reconstruction
+corrects what the radius allows) or degrade *detectably* -- lost symbols
+are counted as evictions/reconstruction errors, replays are counted as
+drops -- and it must **never** deliver a silently wrong payload.  On top
+of that the κ-floor acceptance property: the sender never samples a
+schedule below floor(κ), and with the resilience layer armed the floor
+either holds through the attack or admission pauses (also detectable).
+
+Every run here is the seeded harness (see
+:mod:`repro.adversary.active.harness`): zero benign loss, so any
+shortfall is attack-attributable.
+"""
+
+import json
+
+import pytest
+
+from repro.adversary.active import canonical_attack, run_under_attack
+from repro.adversary.active.scenarios import CANONICAL_ATTACKS
+
+SCENARIOS = sorted(CANONICAL_ATTACKS)
+
+START, STOP = 4.0, 24.0
+DURATION = 20.0
+
+
+@pytest.fixture(scope="module")
+def rows():
+    """One harness run per canonical scenario (shared across properties)."""
+    return {
+        name: run_under_attack(
+            canonical_attack(name, START, STOP), duration=DURATION, seed=7
+        )
+        for name in SCENARIOS
+    }
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+class TestPerScenario:
+    def test_p1_no_silent_corruption_and_liveness(self, rows, scenario):
+        """P1: every delivery is byte-identical to the offered payload, and
+        the attack never silences the protocol completely."""
+        row = rows[scenario]
+        assert row["wrong_payloads"] == 0
+        assert row["delivered"] > 0
+
+    def test_p2_every_loss_is_accounted(self, rows, scenario):
+        """P2: degradation is visible -- transmitted symbols are delivered,
+        evicted or counted as reconstruction failures, never vanish."""
+        row = rows[scenario]
+        receiver = row["receiver"]
+        accounted = (
+            row["delivered"]
+            + receiver["evicted_symbols"]
+            + receiver["reconstruction_errors"]
+        )
+        assert accounted >= row["transmitted"]
+
+    def test_p3_kappa_floor_never_undercut(self, rows, scenario):
+        """P3: the sender never samples a (k, m) with k below floor(κ) --
+        attacks may slow the protocol down but cannot talk it into a
+        weaker privacy threshold."""
+        row = rows[scenario]
+        assert row["kappa_floor_held"]
+        assert row["min_k_sampled"] is not None and row["min_k_sampled"] >= row["kappa_floor"]
+
+    def test_p4_same_seed_replay_is_byte_identical(self, rows, scenario):
+        """P4: the full JSON row -- digest included -- replays
+        byte-identically under the same seed."""
+        row = rows[scenario]
+        replay = run_under_attack(
+            canonical_attack(scenario, START, STOP), duration=DURATION, seed=7
+        )
+        assert json.dumps(replay, sort_keys=True) == json.dumps(row, sort_keys=True)
+
+    def test_attack_actually_ran(self, rows, scenario):
+        """Sanity: the scenario applied events and touched the wire."""
+        row = rows[scenario]
+        assert row["attack"]["applied"] >= 2
+        stats = row["attack"]["stats"]
+        assert any(
+            stats[field] > 0
+            for field in (
+                "shares_corrupted", "shares_forged", "packets_replayed",
+                "adaptive_jams", "targeted_corruptions",
+            )
+        )
+
+
+class TestRobustRecoveryAtTheBound:
+    def test_p5_single_channel_storm_within_radius_fully_recovers(self):
+        """P5: with e=1 tolerance and a 100% rewrite storm confined to one
+        channel, every corruption stays inside the unique-decoding radius:
+        zero reconstruction errors, zero wrong payloads, corruption both
+        detected and attributed to the attacked channel."""
+        plan = canonical_attack(
+            "corruption_storm", START, STOP, channel=0, rate=1.0, mode="rewrite"
+        )
+        row = run_under_attack(plan, kappa=2.0, mu=5.0, tolerance=1,
+                               duration=DURATION, seed=7)
+        assert row["wrong_payloads"] == 0
+        assert row["receiver"]["reconstruction_errors"] == 0
+        assert row["receiver"]["corrupt_shares_detected"] > 0
+        assert set(row["corrupt_by_channel"]) <= {"0"}
+        assert row["delivery_ratio"] == 1.0
+
+    def test_p5_overwhelmed_radius_degrades_detectably(self):
+        """Past the radius (width > e targeted rewrites of one symbol) the
+        decode *fails* -- counted, never silently wrong."""
+        plan = canonical_attack("targeted_corruption", START, STOP, period=2, width=3)
+        row = run_under_attack(plan, duration=DURATION, seed=7)
+        assert row["wrong_payloads"] == 0
+        assert row["receiver"]["reconstruction_errors"] > 0
+        assert row["delivery_ratio"] < 1.0
+
+
+class TestKappaFloorUnderPartition:
+    def test_p3_resilience_holds_floor_or_pauses_admission(self):
+        """P3 (resilience form): with quarantine/failover armed, the
+        adaptive partition ends with the κ floor held -- or admission
+        paused, which the sender counts.  Either way: detectable."""
+        plan = canonical_attack("targeted_partition", START, STOP)
+        row = run_under_attack(plan, duration=DURATION, seed=7, resilience=True)
+        assert row["wrong_payloads"] == 0
+        assert row["kappa_floor_held"] or row["admission_paused_drops"] > 0
+        assert row["resilience"] is not None

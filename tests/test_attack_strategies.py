@@ -1,0 +1,129 @@
+"""Strategic attackers: risk-ranked jamming and targeted symbol corruption."""
+
+from repro.adversary.active import AttackPlan
+from repro.adversary.active.engine import AttackStats
+from repro.adversary.active.harness import default_channels
+from repro.adversary.active.strategies import TargetedCorruptor
+from repro.netsim.packet import Datagram
+from repro.netsim.rng import RngRegistry
+from repro.protocol.remicss import PointToPointNetwork
+
+
+def make_network(seed=1):
+    registry = RngRegistry(seed)
+    network = PointToPointNetwork(default_channels(), 64, registry)
+    return network, registry
+
+
+def adaptive_plan(start=1.0, stop=50.0, **overrides):
+    params = dict(budget=2, period=1.0, width=1, jam_for=0.5)
+    params.update(overrides)
+    return AttackPlan().adaptive(start, **params).end_adaptive(stop)
+
+
+class TestAdaptiveAttacker:
+    def test_jams_lowest_risk_channel_first(self):
+        network, registry = make_network()
+        # default_channels risks are strictly decreasing, so the least
+        # risky channel is the last one.
+        network.apply_attack(adaptive_plan(), registry)
+        network.engine.run_until(2.1)
+        assert not network.duplex[4].forward.up
+        assert all(network.duplex[i].forward.up for i in range(4))
+
+    def test_explicit_risks_override_ranking(self):
+        network, registry = make_network()
+        risks = [0.05, 0.5, 0.5, 0.5, 0.5]
+        network.apply_attack(adaptive_plan(), registry, risks=risks)
+        network.engine.run_until(2.1)
+        assert not network.duplex[0].forward.up
+        assert all(network.duplex[i].forward.up for i in range(1, 5))
+
+    def test_budget_bounds_total_jams(self):
+        network, registry = make_network()
+        injector = network.apply_attack(
+            adaptive_plan(budget=3, width=5, jam_for=0.1), registry
+        )
+        network.engine.run_until(60.0)
+        assert injector.stats.adaptive_jams == 3
+
+    def test_jams_heal_after_jam_for(self):
+        network, registry = make_network()
+        network.apply_attack(adaptive_plan(budget=1, jam_for=0.5), registry)
+        network.engine.run_until(2.1)
+        assert not network.duplex[4].forward.up
+        network.engine.run_until(3.0)
+        assert network.duplex[4].forward.up
+
+    def test_stop_halts_further_jamming(self):
+        network, registry = make_network()
+        injector = network.apply_attack(
+            adaptive_plan(stop=2.5, budget=100, period=1.0), registry
+        )
+        network.engine.run_until(30.0)
+        # One tick at t=2 fires before the stop at 2.5; none after.
+        assert injector.stats.adaptive_jams == 1
+
+    def test_skips_channels_already_down(self):
+        network, registry = make_network()
+        plan = AttackPlan().jam(0.5, channel=4)
+        for event in adaptive_plan(budget=1).events:
+            plan.add(event)
+        network.apply_attack(plan, registry)
+        network.engine.run_until(2.1)
+        # Channel 4 (least risky) was pre-jammed, so the adaptive tick
+        # moves on to the next-least-risky channel 3.
+        assert not network.duplex[3].forward.up
+
+
+class _StubInjector:
+    def __init__(self):
+        self.stats = AttackStats()
+
+
+class TestTargetedCorruptor:
+    def share(self, seq, flow=0, forged=False):
+        meta = {"seq": seq, "flow": flow}
+        if forged:
+            meta["forged"] = True
+        return Datagram(size=8, payload=b"x" * 8, sent_at=0.0, meta=meta)
+
+    def test_every_period_th_symbol_targeted_on_low_channels(self):
+        corruptor = TargetedCorruptor(_StubInjector(), period=3, width=2)
+        # Symbols 0 and 3 are targeted (ordinals 0 and 3); 1, 2 are not.
+        assert corruptor.should_corrupt(0, self.share(0))
+        assert corruptor.should_corrupt(1, self.share(0))
+        assert not corruptor.should_corrupt(2, self.share(0))  # beyond width
+        assert not corruptor.should_corrupt(0, self.share(1))
+        assert not corruptor.should_corrupt(0, self.share(2))
+        assert corruptor.should_corrupt(0, self.share(3))
+
+    def test_ordinal_is_sticky_per_symbol(self):
+        corruptor = TargetedCorruptor(_StubInjector(), period=2, width=1)
+        assert corruptor.should_corrupt(0, self.share(5))
+        # Later shares of the same symbol keep its targeting decision.
+        assert corruptor.should_corrupt(0, self.share(5))
+        assert not corruptor.should_corrupt(0, self.share(6))
+        assert not corruptor.should_corrupt(0, self.share(6))
+
+    def test_counts_targeted_symbols_once(self):
+        stub = _StubInjector()
+        corruptor = TargetedCorruptor(stub, period=2, width=1)
+        for _ in range(3):
+            corruptor.should_corrupt(0, self.share(0))
+        corruptor.should_corrupt(0, self.share(1))
+        corruptor.should_corrupt(0, self.share(2))
+        assert stub.stats.targeted_symbols == 2  # symbols 0 and 2
+
+    def test_ignores_forged_and_meta_less_packets(self):
+        corruptor = TargetedCorruptor(_StubInjector(), period=1, width=5)
+        assert not corruptor.should_corrupt(0, self.share(0, forged=True))
+        assert not corruptor.should_corrupt(
+            0, Datagram(size=8, payload=b"x" * 8, sent_at=0.0)
+        )
+
+    def test_flows_tracked_independently(self):
+        corruptor = TargetedCorruptor(_StubInjector(), period=2, width=1)
+        assert corruptor.should_corrupt(0, self.share(0, flow=1))
+        assert not corruptor.should_corrupt(0, self.share(0, flow=2))
+        assert corruptor.should_corrupt(0, self.share(1, flow=1))

@@ -212,3 +212,53 @@ class TestSimulateCommand:
         )
         assert code == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestAttackCommand:
+    def run_quick(self, tmp_path, name, extra=()):
+        out = tmp_path / name
+        code = main(
+            [
+                "attack", "--scenario", "replay_flood",
+                "--quick", "--out", str(out), *extra,
+            ]
+        )
+        return code, out
+
+    def test_quick_scenario_runs_clean(self, tmp_path, capsys):
+        code, out = self.run_quick(tmp_path, "rows.json")
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "replay_flood" in stdout
+        rows = json.loads(out.read_text())
+        assert len(rows) == 2  # two κ values in quick mode
+        assert all(row["wrong_payloads"] == 0 for row in rows)
+        assert all(row["scenario"] == "replay_flood" for row in rows)
+
+    def test_same_seed_runs_are_byte_identical(self, tmp_path, capsys):
+        _, first = self.run_quick(tmp_path, "a.json")
+        _, second = self.run_quick(tmp_path, "b.json")
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_jobs_fanout_matches_serial(self, tmp_path, capsys):
+        _, serial = self.run_quick(tmp_path, "serial.json")
+        _, fanned = self.run_quick(tmp_path, "fanned.json", extra=("--jobs", "2"))
+        assert serial.read_bytes() == fanned.read_bytes()
+
+    def test_unknown_scenario_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["attack", "--scenario", "zero-day"])
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_kappa_override(self, tmp_path, capsys):
+        out = tmp_path / "kappa.json"
+        code = main(
+            [
+                "attack", "--scenario", "corruption_storm", "--quick",
+                "--kappa", "2", "--out", str(out),
+            ]
+        )
+        assert code == 0
+        rows = json.loads(out.read_text())
+        assert [row["kappa"] for row in rows] == [2.0]
+        assert all(row["min_k_sampled"] >= 2 for row in rows)

@@ -1,0 +1,111 @@
+"""Robust reconstruction at the boundaries of the unique-decoding radius.
+
+Complements tests/test_sharing_robust.py with the degenerate and
+bound-exact geometries the active adversary probes: k = m (no redundancy,
+radius zero), odd vs even slack m - k (the integer floor in
+e = (m - k) // 2), exactly-e corruptions at the bound, and e + 1 just
+past it.  Plus the end-to-end attribution path: a channel-confined attack
+shows up in the receiver's ``corrupt_by_channel`` ledger on exactly the
+attacked channel.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adversary.active import canonical_attack, run_under_attack
+from repro.sharing.base import ReconstructionError, Share
+from repro.sharing.robust import max_correctable_errors, robust_reconstruct
+from repro.sharing.shamir import ShamirScheme
+
+scheme = ShamirScheme()
+SECRET = b"unique decoding radius, exactly"
+
+
+def make_shares(k, m, seed=0):
+    return scheme.split(SECRET, k, m, np.random.default_rng(seed))
+
+
+def rewrite(share, seed=1):
+    rng = np.random.default_rng(seed)
+    data = bytes(rng.integers(0, 256, size=len(share.data), dtype=np.uint8))
+    if data == share.data:  # vanishing chance, but make corruption certain
+        data = bytes([data[0] ^ 0xFF]) + data[1:]
+    return Share(index=share.index, data=data, k=share.k, m=share.m)
+
+
+class TestRadiusGeometry:
+    @pytest.mark.parametrize("k", [1, 2, 3, 5])
+    def test_k_equals_m_has_zero_radius(self, k):
+        assert max_correctable_errors(k, k) == 0
+
+    def test_odd_slack_floors_down(self):
+        # m - k = 3 corrects exactly 1: the odd share of slack buys nothing.
+        assert max_correctable_errors(5, 2) == 1
+        assert max_correctable_errors(4, 2) == 1  # even slack 2, same radius
+
+    def test_even_slack_counts_fully(self):
+        assert max_correctable_errors(6, 2) == 2
+        assert max_correctable_errors(7, 3) == 2
+
+
+class TestKEqualsM:
+    def test_clean_group_reconstructs(self):
+        shares = make_shares(3, 3)
+        result = robust_reconstruct(shares)
+        assert result.secret == SECRET
+        assert result.corrupted == frozenset()
+        assert result.agreement == 3
+
+    def test_zero_redundancy_means_zero_detection(self):
+        # With n = k any k points define *some* polynomial: a corrupted
+        # group decodes cleanly to the wrong secret, and no decoder can
+        # know.  This is exactly why the protocol's byzantine_tolerance
+        # validation forces floor(mu) >= floor(kappa) + 2e before it calls
+        # shares robust -- the guarantee needs redundancy to exist.
+        shares = make_shares(3, 3)
+        shares[1] = rewrite(shares[1])
+        result = robust_reconstruct(shares)
+        assert result.secret != SECRET
+        assert result.corrupted == frozenset()
+
+
+class TestAtTheBound:
+    @pytest.mark.parametrize("k,m", [(2, 4), (2, 5), (3, 5), (2, 6)])
+    def test_exactly_e_corruptions_recover(self, k, m):
+        shares = make_shares(k, m)
+        e = max_correctable_errors(m, k)
+        for i in range(e):
+            shares[i] = rewrite(shares[i], seed=10 + i)
+        result = robust_reconstruct(shares)
+        assert result.secret == SECRET
+        assert result.corrupted == frozenset(range(1, e + 1))
+
+    @pytest.mark.parametrize("k,m", [(2, 4), (3, 5)])
+    def test_e_plus_one_corruptions_detected_never_silent(self, k, m):
+        shares = make_shares(k, m)
+        e = max_correctable_errors(m, k)
+        for i in range(e + 1):
+            shares[i] = rewrite(shares[i], seed=20 + i)
+        with pytest.raises(ReconstructionError):
+            robust_reconstruct(shares)
+
+    def test_odd_slack_spare_share_raises_agreement_not_radius(self):
+        # m - k = 3: radius is 1, but the spare honest share must still
+        # agree with the accepted decoding.
+        shares = make_shares(2, 5)
+        shares[0] = rewrite(shares[0])
+        result = robust_reconstruct(shares)
+        assert result.secret == SECRET
+        assert result.agreement == 4
+
+
+class TestChannelAttribution:
+    def test_storm_on_one_channel_lands_in_its_ledger(self):
+        plan = canonical_attack(
+            "corruption_storm", 4.0, 24.0, channel=1, rate=1.0, mode="rewrite"
+        )
+        row = run_under_attack(plan, kappa=2.0, mu=5.0, tolerance=1,
+                               duration=20.0, seed=7)
+        assert row["corrupt_by_channel"]
+        assert set(row["corrupt_by_channel"]) == {"1"}
+        assert row["wrong_payloads"] == 0
