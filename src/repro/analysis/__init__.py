@@ -1,13 +1,27 @@
-"""Information-theoretic analysis of the sharing substrate.
+"""Analyses of the sharing substrate: information-theoretic and static.
 
-The paper grounds its privacy measure in Shannon's perfect secrecy
-(Sec. II-B): below the threshold, shares carry *zero* information about
-the secret.  :mod:`repro.analysis.secrecy` verifies that claim exactly --
-not statistically -- by enumerating the full joint distribution of
-(secret, observed shares) over small prime fields and computing entropies
-and mutual information in closed form.
+Two complementary verification layers live here:
+
+* :mod:`repro.analysis.secrecy` verifies the paper's perfect-secrecy
+  claim (Sec. II-B) *exactly* -- not statistically -- by enumerating
+  the full joint distribution of (secret, observed shares) over small
+  prime fields and computing entropies and mutual information in
+  closed form.
+* :mod:`repro.analysis.framework` is the static-analysis substrate
+  (discovery, reports, suppressions, baselines) shared by the
+  determinism linter (``repro.lint``) and the secret-taint analysis
+  (:mod:`repro.analysis.taint`), which proves the *implementation*
+  honours that secrecy by tracking where raw secret bytes flow.
 """
 
+from repro.analysis.framework import (
+    PARSE_ERROR,
+    AnalysisReport,
+    discover,
+    emit_counters,
+    print_report,
+    split_suppressed,
+)
 from repro.analysis.secrecy import (
     SecrecyReport,
     entropy,
@@ -22,4 +36,10 @@ __all__ = [
     "joint_distribution",
     "verify_perfect_secrecy",
     "SecrecyReport",
+    "AnalysisReport",
+    "PARSE_ERROR",
+    "discover",
+    "emit_counters",
+    "print_report",
+    "split_suppressed",
 ]

@@ -1,0 +1,8 @@
+"""``python -m repro.analysis.taint`` entry point."""
+
+import sys
+
+from repro.analysis.taint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,14 +1,14 @@
-"""Command-line front end for the determinism linter.
+"""Command-line front end for the secret-taint analysis.
 
 Reached three ways, all sharing this module:
 
-* ``repro-model lint ...`` (the installed console script),
-* ``python -m repro.cli lint ...``,
-* ``python -m repro.lint ...``.
+* ``repro-model taint ...`` (the installed console script),
+* ``python -m repro.cli taint ...``,
+* ``python -m repro.analysis.taint ...``.
 
-Exit status: 0 when the tree is clean (after suppressions and the
-baseline), 1 when live findings remain, 2 on usage errors -- so CI can
-gate on the exit code alone.
+Exit status mirrors the determinism linter exactly: 0 when the tree is
+clean (after suppressions and the baseline), 1 when live findings
+remain, 2 on usage errors -- CI gates on the exit code alone.
 """
 
 from __future__ import annotations
@@ -18,26 +18,27 @@ import os
 import sys
 from typing import Optional, Sequence
 
-from repro.analysis.framework import print_report
-from repro.lint.baseline import Baseline
-from repro.lint.checks import default_rules
-from repro.lint.engine import LintEngine
+from repro.analysis.framework import Baseline, print_report
+from repro.analysis.taint.engine import TaintEngine
+from repro.analysis.taint.policy import default_policy
 
-__all__ = ["add_lint_arguments", "main", "run_lint"]
+__all__ = ["add_taint_arguments", "main", "run_taint"]
 
-#: Default lint targets, relative to the root (missing ones are skipped).
-DEFAULT_PATHS = ("src", "tests", "benchmarks")
+#: Default analysis target, relative to the root.  Unlike the linter,
+#: the default scope is the shipped package only: tests and benchmarks
+#: legitimately print and persist secret-adjacent fixtures.
+DEFAULT_PATHS = ("src",)
 
 #: Default baseline location, relative to the root.
-DEFAULT_BASELINE = "lint-baseline.json"
+DEFAULT_BASELINE = "taint-baseline.json"
 
 
-def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
-    """Attach the lint options to ``parser`` (shared with repro.cli)."""
+def add_taint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the taint options to ``parser`` (shared with repro.cli)."""
     parser.add_argument(
         "paths",
         nargs="*",
-        help=f"files/directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+        help=f"files/directories to analyze (default: {' '.join(DEFAULT_PATHS)})",
     )
     parser.add_argument(
         "--root",
@@ -67,24 +68,44 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="write the current findings to the baseline file and exit 0",
     )
     parser.add_argument(
-        "--list-rules",
+        "--list-sinks",
         action="store_true",
-        help="print the rule catalogue and exit",
+        help="print the source/sink/sanitizer catalogue and exit",
     )
     parser.add_argument(
         "--metrics-out",
         metavar="PATH",
-        help="also emit the lint rule-hit counters through repro.obs to "
+        help="also emit the taint rule-hit counters through repro.obs to "
         "this path (format inferred from the suffix; see docs/OBSERVABILITY.md)",
     )
 
 
-def run_lint(args: argparse.Namespace) -> int:
-    """Execute a parsed lint invocation; returns the process exit code."""
-    if args.list_rules:
-        for rule in default_rules():
-            scope = ", ".join(rule.includes) if rule.includes else "everywhere"
-            print(f"{rule.rule_id:22s} {rule.description}  [scope: {scope}]")
+def _print_catalogue() -> None:
+    policy = default_policy()
+    print("sinks:")
+    for rule_id, description in policy.sink_catalogue():
+        print(f"  {rule_id:18s} {description}")
+    print("sources:")
+    for sp in policy.source_params:
+        scope = ", ".join(sp.includes) if sp.includes else "everywhere"
+        print(f"  param {', '.join(sp.names)}  [scope: {scope}]")
+    for sc in policy.source_calls:
+        names = ", ".join(sc.qualnames + sc.methods)
+        print(f"  call {names}  [{sc.label}]")
+    print("sanitizers:")
+    for sanitizer in policy.sanitizers:
+        names = ", ".join(
+            sanitizer.qualnames
+            + tuple(f"{p}*" for p in sanitizer.prefixes)
+            + tuple(f".{m}()" for m in sanitizer.methods)
+        )
+        print(f"  {names}")
+
+
+def run_taint(args: argparse.Namespace) -> int:
+    """Execute a parsed taint invocation; returns the process exit code."""
+    if args.list_sinks:
+        _print_catalogue()
         return 0
 
     root = os.path.abspath(args.root)
@@ -92,7 +113,7 @@ def run_lint(args: argparse.Namespace) -> int:
     if not paths:
         paths = [p for p in DEFAULT_PATHS if os.path.exists(os.path.join(root, p))]
         if not paths:
-            print(f"error: no default lint paths exist under {root}", file=sys.stderr)
+            print(f"error: no default taint paths exist under {root}", file=sys.stderr)
             return 2
 
     baseline_path = args.baseline or os.path.join(root, DEFAULT_BASELINE)
@@ -106,7 +127,7 @@ def run_lint(args: argparse.Namespace) -> int:
 
         obs = Observability.create()
 
-    engine = LintEngine(baseline=baseline, obs=obs)
+    engine = TaintEngine(baseline=baseline, obs=obs)
     try:
         report = engine.run(root, paths)
     except (FileNotFoundError, ValueError) as exc:
@@ -130,12 +151,12 @@ def run_lint(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        prog="repro-lint",
-        description="AST-based determinism linter for the repro tree "
-        "(see docs/LINTING.md)",
+        prog="repro-taint",
+        description="secret-flow (source/sink/sanitizer) static analysis "
+        "for the repro tree (see docs/TAINT.md)",
     )
-    add_lint_arguments(parser)
-    return run_lint(parser.parse_args(argv))
+    add_taint_arguments(parser)
+    return run_taint(parser.parse_args(argv))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,717 @@
+"""Assignment-graph taint propagation over one module.
+
+The propagation model, in one paragraph: taint is a set of *origin*
+strings attached to dotted value paths (``x``, ``self._outbuf``,
+``symbol.payload``).  Real origins (``source:param payload``,
+``source:call reconstructed secret``, ``source:annotated ...``) mean a
+secret provably flows here; every function parameter additionally
+starts with a *hypothetical* origin (``param:<name>``), so the same
+walk that reports real leaks also derives the function's summary --
+"param p would reach sink r" -- without a second pass.  Call sites then
+replay summaries against actual argument taint, which is how flows
+cross module boundaries (``taint-call`` findings).
+
+Statements execute in source order with a bounded per-function fixpoint
+(the body re-runs until the environment stabilises, so loop-carried
+flows like ``buf += datagram`` converge).  Assignments to names are
+strong updates -- ``x = len(x)`` genuinely declassifies ``x`` -- while
+container and attribute updates are weak (unions), the standard
+may-alias compromise.  Branches are walked in order without joins;
+docs/TAINT.md lists the resulting blind spots.
+
+Deliberate asymmetry: a tainted *field* does not taint its object
+(``symbol.payload`` secret does not make ``symbol.seq`` secret), but a
+tainted *object* taints every field read from it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.resolve import qualified_name
+from repro.analysis.suppressions import FileSuppressions
+from repro.analysis.taint.policy import TaintPolicy
+from repro.analysis.taint.summaries import FunctionSummary, SummaryTable
+
+__all__ = ["ModuleAnalyzer", "ModuleInfo", "module_name"]
+
+_EMPTY: FrozenSet[str] = frozenset()
+
+#: Real-origin / hypothetical-origin prefixes (see module docstring).
+_REAL = "source:"
+_HYP = "param:"
+
+
+def module_name(relpath: str) -> str:
+    """Dotted module name for a repo-relative path.
+
+    ``src/repro/protocol/sender.py`` -> ``repro.protocol.sender``;
+    a leading ``src/`` layout component and trailing ``__init__`` are
+    dropped.
+    """
+    path = relpath[:-3] if relpath.endswith(".py") else relpath
+    parts = path.split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _real(origins: FrozenSet[str]) -> FrozenSet[str]:
+    return frozenset(o for o in origins if o.startswith(_REAL))
+
+
+def _hyp_params(origins: FrozenSet[str]) -> FrozenSet[str]:
+    return frozenset(o[len(_HYP):] for o in origins if o.startswith(_HYP))
+
+
+def _origin_labels(origins: FrozenSet[str]) -> str:
+    return ", ".join(sorted(o[len(_REAL):] for o in origins))
+
+
+def _path_of(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed file, ready for analysis."""
+
+    relpath: str
+    module: str
+    tree: ast.Module
+    aliases: Dict[str, str]
+    suppressions: FileSuppressions
+
+
+@dataclass
+class _Acc:
+    """Mutable per-function summary accumulator."""
+
+    qualname: str = ""
+    taints_return: Set[str] = field(default_factory=set)
+    return_params: Set[str] = field(default_factory=set)
+    param_sinks: Set[Tuple[str, str, str]] = field(default_factory=set)
+    attr_writes: Dict[str, Set[str]] = field(default_factory=dict)
+
+    def fingerprint(self) -> tuple:
+        return (
+            tuple(sorted(self.taints_return)),
+            tuple(sorted(self.return_params)),
+            tuple(sorted(self.param_sinks)),
+            tuple(sorted((a, tuple(sorted(p))) for a, p in self.attr_writes.items())),
+        )
+
+
+class ModuleAnalyzer:
+    """Runs the propagation pass over one module.
+
+    With ``collect=False`` only summaries and attribute taint are
+    recorded (the cross-module fixpoint passes); with ``collect=True``
+    findings are also emitted (the final pass).
+    """
+
+    #: per-function fixpoint bound; flows needing more iterations than
+    #: this through a single body are beyond the model anyway
+    MAX_BODY_PASSES = 8
+
+    def __init__(
+        self,
+        info: ModuleInfo,
+        policy: TaintPolicy,
+        table: SummaryTable,
+        collect: bool = True,
+    ):
+        self.info = info
+        self.policy = policy
+        self.table = table
+        self.collect = collect
+        self._findings: Dict[tuple, Finding] = {}
+        self._class_name: Optional[str] = None
+        self._format_quiet = 0
+
+    # -- entry points ------------------------------------------------------------
+
+    def run(self) -> List[Finding]:
+        env: Dict[str, FrozenSet[str]] = {}
+        module_acc = _Acc(qualname=self.info.module)
+        for stmt in self.info.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._analyze_function(stmt, class_name=None)
+            elif isinstance(stmt, ast.ClassDef):
+                self._analyze_class(stmt)
+            else:
+                self._exec(stmt, env, module_acc)
+        return sorted(self._findings.values())
+
+    def _analyze_class(self, node: ast.ClassDef) -> None:
+        methods = [
+            s for s in node.body if isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        if not any(m.name == "__init__" for m in methods):
+            self._synthesize_constructor(node)
+        for method in methods:
+            self._analyze_function(method, class_name=node.name)
+
+    def _synthesize_constructor(self, node: ast.ClassDef) -> None:
+        """Dataclass-style classes: each annotated field is a constructor
+        parameter written verbatim to the same-named attribute."""
+        fields: List[str] = []
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                fields.append(stmt.target.id)
+        if not fields:
+            return
+        qualname = f"{self.info.module}.{node.name}.__init__"
+        summary = FunctionSummary(
+            qualname=qualname,
+            module=self.info.module,
+            name=node.name,
+            params=tuple(fields),
+            is_method=True,
+            attr_writes=tuple((f, frozenset({f})) for f in fields),
+        )
+        self.table.add_class(f"{self.info.module}.{node.name}", summary)
+
+    def _analyze_function(
+        self,
+        func: "ast.FunctionDef | ast.AsyncFunctionDef",
+        class_name: Optional[str],
+        register: bool = True,
+    ) -> None:
+        args = func.args
+        params = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+        if args.vararg is not None:
+            params.append(args.vararg.arg)
+        if args.kwarg is not None:
+            params.append(args.kwarg.arg)
+        is_method = bool(params) and params[0] in ("self", "cls")
+
+        prefix = f"{self.info.module}." + (f"{class_name}." if class_name else "")
+        acc = _Acc(qualname=prefix + func.name)
+
+        # `# taint: source=<param>` on the def line; bare `source` marks
+        # every parameter.
+        annotated = self.info.suppressions.annotations_on(func.lineno, "source")
+        env: Dict[str, FrozenSet[str]] = {}
+        for p in params:
+            origins: Set[str] = set()
+            if p not in ("self", "cls"):
+                origins.add(_HYP + p)
+                if (
+                    self.policy.param_source(p, self.info.relpath)
+                    or p in annotated
+                    or "" in annotated
+                ):
+                    origins.add(f"{_REAL}param {p}")
+            env[p] = frozenset(origins)
+
+        outer_class, self._class_name = self._class_name, class_name
+        try:
+            self._fixpoint(func.body, env, acc)
+        finally:
+            self._class_name = outer_class
+
+        if not register:
+            return
+        summary = FunctionSummary(
+            qualname=acc.qualname,
+            module=self.info.module,
+            name=func.name,
+            params=tuple(p for p in params if p not in ("self", "cls")),
+            is_method=is_method,
+            taints_return=frozenset(acc.taints_return),
+            return_params=frozenset(acc.return_params),
+            param_sinks=tuple(sorted(acc.param_sinks)),
+            attr_writes=tuple(
+                sorted((a, frozenset(ps)) for a, ps in acc.attr_writes.items())
+            ),
+        )
+        if func.name == "__init__" and class_name is not None:
+            self.table.add_class(f"{self.info.module}.{class_name}", summary)
+        else:
+            self.table.add(summary)
+
+    def _fixpoint(self, body: List[ast.stmt], env: Dict[str, FrozenSet[str]], acc: _Acc) -> None:
+        for _ in range(self.MAX_BODY_PASSES):
+            before_env = dict(env)
+            before_acc = acc.fingerprint()
+            for stmt in body:
+                self._exec(stmt, env, acc)
+            if env == before_env and acc.fingerprint() == before_acc:
+                break
+
+    # -- statements --------------------------------------------------------------
+
+    def _exec(self, stmt: ast.stmt, env: Dict[str, FrozenSet[str]], acc: _Acc) -> None:
+        if isinstance(stmt, ast.Assign):
+            v = self._value_taint(stmt, stmt.value, env, acc)
+            for target in stmt.targets:
+                self._bind(target, v, stmt.value, env, acc)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                v = self._value_taint(stmt, stmt.value, env, acc)
+                self._bind(stmt.target, v, stmt.value, env, acc)
+        elif isinstance(stmt, ast.AugAssign):
+            v = self._value_taint(stmt, stmt.value, env, acc)
+            path = _path_of(stmt.target)
+            if path is not None:
+                env[path] = env.get(path, _EMPTY) | v
+            if isinstance(stmt.target, ast.Attribute):
+                self._record_attr_write(stmt.target, env.get(path or "", _EMPTY) | v, acc)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                v = self._value_taint(stmt, stmt.value, env, acc)
+                acc.taints_return |= _real(v)
+                acc.return_params |= _hyp_params(v)
+        elif isinstance(stmt, ast.Raise):
+            self._exec_raise(stmt, env, acc)
+        elif isinstance(stmt, ast.Expr):
+            self._value_taint(stmt, stmt.value, env, acc)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self._eval(stmt.test, env, acc)
+            for s in stmt.body:
+                self._exec(s, env, acc)
+            for s in stmt.orelse:
+                self._exec(s, env, acc)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            v = self._eval(stmt.iter, env, acc)
+            # `for i, x in enumerate(tainted)`: the counter is clean
+            if (
+                isinstance(stmt.iter, ast.Call)
+                and isinstance(stmt.iter.func, ast.Name)
+                and stmt.iter.func.id == "enumerate"
+                and isinstance(stmt.target, ast.Tuple)
+                and len(stmt.target.elts) == 2
+            ):
+                self._bind_weak(stmt.target.elts[1], v, env)
+            else:
+                self._bind_weak(stmt.target, v, env)
+            for s in stmt.body:
+                self._exec(s, env, acc)
+            for s in stmt.orelse:
+                self._exec(s, env, acc)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                v = self._eval(item.context_expr, env, acc)
+                if item.optional_vars is not None:
+                    self._bind_weak(item.optional_vars, v, env)
+            for s in stmt.body:
+                self._exec(s, env, acc)
+        elif isinstance(stmt, ast.Try):
+            for s in stmt.body:
+                self._exec(s, env, acc)
+            for handler in stmt.handlers:
+                if handler.name is not None:
+                    env[handler.name] = _EMPTY
+                for s in handler.body:
+                    self._exec(s, env, acc)
+            for s in stmt.orelse:
+                self._exec(s, env, acc)
+            for s in stmt.finalbody:
+                self._exec(s, env, acc)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # nested defs: analyzed for findings, never summarised --
+            # they are not addressable from other modules
+            self._analyze_function(stmt, class_name=None, register=False)
+        elif isinstance(stmt, ast.ClassDef):
+            for s in stmt.body:
+                if isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    self._analyze_function(s, class_name=None, register=False)
+        elif isinstance(stmt, ast.Assert):
+            self._eval(stmt.test, env, acc)
+            if stmt.msg is not None:
+                v = self._eval(stmt.msg, env, acc)
+                self._report(stmt.msg, "taint-exception", "assert message", v, acc)
+        # Import/Pass/Break/Continue/Delete/Global/Nonlocal: no flow
+
+    def _exec_raise(self, stmt: ast.Raise, env: Dict[str, FrozenSet[str]], acc: _Acc) -> None:
+        if stmt.exc is None:
+            return
+        # the f-string/str() format sink stays quiet inside the raise:
+        # one `taint-exception` finding describes the leak, not two
+        self._format_quiet += 1
+        try:
+            if isinstance(stmt.exc, ast.Call):
+                v: FrozenSet[str] = _EMPTY
+                for arg in stmt.exc.args:
+                    node = arg.value if isinstance(arg, ast.Starred) else arg
+                    v = v | self._eval(node, env, acc)
+                for kw in stmt.exc.keywords:
+                    v = v | self._eval(kw.value, env, acc)
+                # still evaluate the call itself for non-format sinks
+                self._eval(stmt.exc, env, acc)
+            else:
+                v = self._eval(stmt.exc, env, acc)
+        finally:
+            self._format_quiet -= 1
+        self._report(stmt, "taint-exception", "exception message", v, acc)
+
+    # -- binding -----------------------------------------------------------------
+
+    def _value_taint(
+        self, stmt: ast.stmt, value: ast.expr, env: Dict[str, FrozenSet[str]], acc: _Acc
+    ) -> FrozenSet[str]:
+        """Evaluate ``value`` and apply the statement line's annotations."""
+        v = self._eval(value, env, acc)
+        supp = self.info.suppressions
+        if supp.has_annotation(stmt.lineno, "declassified"):
+            return _EMPTY
+        for label in supp.annotations_on(stmt.lineno, "source"):
+            v = v | {f"{_REAL}annotated {label or 'secret'}"}
+        return v
+
+    def _bind(
+        self,
+        target: ast.expr,
+        v: FrozenSet[str],
+        value_node: Optional[ast.expr],
+        env: Dict[str, FrozenSet[str]],
+        acc: _Acc,
+    ) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = v
+        elif isinstance(target, ast.Attribute):
+            path = _path_of(target)
+            if path is not None:
+                env[path] = v
+            self._record_attr_write(target, v, acc)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            elements: List[Optional[ast.expr]]
+            if isinstance(value_node, (ast.Tuple, ast.List)) and len(value_node.elts) == len(
+                target.elts
+            ):
+                elements = list(value_node.elts)
+            else:
+                elements = [None] * len(target.elts)
+            for sub_target, sub_value in zip(target.elts, elements):
+                if isinstance(sub_target, ast.Starred):
+                    sub_target = sub_target.value
+                sub_taint = self._eval(sub_value, env, acc) if sub_value is not None else v
+                self._bind(sub_target, sub_taint, sub_value, env, acc)
+        elif isinstance(target, ast.Subscript):
+            base = _path_of(target.value)
+            if base is not None:
+                env[base] = env.get(base, _EMPTY) | v
+            if isinstance(target.value, ast.Attribute):
+                self._record_attr_write(target.value, v, acc)
+
+    def _bind_weak(self, target: ast.expr, v: FrozenSet[str], env: Dict[str, FrozenSet[str]]) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = env.get(target.id, _EMPTY) | v
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for sub in target.elts:
+                if isinstance(sub, ast.Starred):
+                    sub = sub.value
+                self._bind_weak(sub, v, env)
+        elif isinstance(target, ast.Attribute):
+            path = _path_of(target)
+            if path is not None:
+                env[path] = env.get(path, _EMPTY) | v
+
+    def _record_attr_write(self, target: ast.Attribute, v: FrozenSet[str], acc: _Acc) -> None:
+        real = _real(v)
+        if real:
+            self.table.record_attr(self.info.module, target.attr, real)
+        base = _path_of(target.value)
+        if base is not None and (base == "self" or base.startswith("self.")):
+            for p in _hyp_params(v):
+                acc.attr_writes.setdefault(target.attr, set()).add(p)
+
+    # -- expressions -------------------------------------------------------------
+
+    def _eval(self, node: ast.expr, env: Dict[str, FrozenSet[str]], acc: _Acc) -> FrozenSet[str]:
+        if isinstance(node, ast.Constant):
+            return _EMPTY
+        if isinstance(node, ast.Name):
+            return env.get(node.id, _EMPTY)
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node, env, acc)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env, acc)
+        if isinstance(node, ast.Subscript):
+            return self._eval(node.value, env, acc) | self._eval(node.slice, env, acc)
+        if isinstance(node, ast.BinOp):
+            return self._eval(node.left, env, acc) | self._eval(node.right, env, acc)
+        if isinstance(node, ast.BoolOp):
+            out: FrozenSet[str] = _EMPTY
+            for value in node.values:
+                out = out | self._eval(value, env, acc)
+            return out
+        if isinstance(node, ast.UnaryOp):
+            return self._eval(node.operand, env, acc)
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test, env, acc)
+            return self._eval(node.body, env, acc) | self._eval(node.orelse, env, acc)
+        if isinstance(node, ast.Compare):
+            # a boolean fact about a secret is a declassified statistic
+            self._eval(node.left, env, acc)
+            for comparator in node.comparators:
+                self._eval(comparator, env, acc)
+            return _EMPTY
+        if isinstance(node, ast.JoinedStr):
+            return self._eval_fstring(node, env, acc)
+        if isinstance(node, ast.FormattedValue):
+            return self._eval(node.value, env, acc)
+        if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+            out = _EMPTY
+            for elt in node.elts:
+                if isinstance(elt, ast.Starred):
+                    elt = elt.value
+                out = out | self._eval(elt, env, acc)
+            return out
+        if isinstance(node, ast.Dict):
+            out = _EMPTY
+            for key in node.keys:
+                if key is not None:
+                    out = out | self._eval(key, env, acc)
+            for value in node.values:
+                out = out | self._eval(value, env, acc)
+            return out
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            self._bind_comprehension(node.generators, env, acc)
+            return self._eval(node.elt, env, acc)
+        if isinstance(node, ast.DictComp):
+            self._bind_comprehension(node.generators, env, acc)
+            return self._eval(node.key, env, acc) | self._eval(node.value, env, acc)
+        if isinstance(node, ast.NamedExpr):
+            v = self._eval(node.value, env, acc)
+            if isinstance(node.target, ast.Name):
+                env[node.target.id] = v
+            return v
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value, env, acc)
+        if isinstance(node, ast.Await):
+            return self._eval(node.value, env, acc)
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            if node.value is not None:
+                v = self._eval(node.value, env, acc)
+                acc.taints_return |= _real(v)
+                acc.return_params |= _hyp_params(v)
+            return _EMPTY
+        if isinstance(node, ast.Lambda):
+            return _EMPTY
+        if isinstance(node, ast.Slice):
+            out = _EMPTY
+            for part in (node.lower, node.upper, node.step):
+                if part is not None:
+                    out = out | self._eval(part, env, acc)
+            return out
+        return _EMPTY
+
+    def _bind_comprehension(
+        self, generators: List[ast.comprehension], env: Dict[str, FrozenSet[str]], acc: _Acc
+    ) -> None:
+        for gen in generators:
+            v = self._eval(gen.iter, env, acc)
+            self._bind_weak(gen.target, v, env)
+            for condition in gen.ifs:
+                self._eval(condition, env, acc)
+
+    def _eval_attribute(
+        self, node: ast.Attribute, env: Dict[str, FrozenSet[str]], acc: _Acc
+    ) -> FrozenSet[str]:
+        taints: Set[str] = set()
+        path = _path_of(node)
+        if path is not None:
+            parts = path.split(".")
+            for i in range(len(parts), 0, -1):
+                taints |= env.get(".".join(parts[:i]), _EMPTY)
+        else:
+            taints |= self._eval(node.value, env, acc)
+        taints |= self.table.attr_origins(self.info.module, node.attr)
+        return frozenset(taints)
+
+    def _eval_fstring(
+        self, node: ast.JoinedStr, env: Dict[str, FrozenSet[str]], acc: _Acc
+    ) -> FrozenSet[str]:
+        out: FrozenSet[str] = _EMPTY
+        for value in node.values:
+            if isinstance(value, ast.FormattedValue):
+                out = out | self._eval(value.value, env, acc)
+        if out and not self._format_quiet:
+            self._report(node, "taint-format", "f-string", out, acc)
+        return out
+
+    # -- calls -------------------------------------------------------------------
+
+    def _eval_call(self, node: ast.Call, env: Dict[str, FrozenSet[str]], acc: _Acc) -> FrozenSet[str]:
+        func = node.func
+        qualname = qualified_name(func, self.info.aliases)
+        if qualname is not None and qualname.startswith("."):
+            qualname = self._resolve_relative(qualname)
+        receiver = method = None
+        if isinstance(func, ast.Attribute):
+            method = func.attr
+            base_path = _path_of(func.value)
+            receiver = base_path.split(".")[-1] if base_path else None
+
+        positional: List[FrozenSet[str]] = []
+        for arg in node.args:
+            inner = arg.value if isinstance(arg, ast.Starred) else arg
+            positional.append(self._eval(inner, env, acc))
+        keywords: List[Tuple[Optional[str], FrozenSet[str]]] = []
+        for kw in node.keywords:
+            keywords.append((kw.arg, self._eval(kw.value, env, acc)))
+
+        all_args: FrozenSet[str] = _EMPTY
+        for t in positional:
+            all_args = all_args | t
+        for _, t in keywords:
+            all_args = all_args | t
+        kwarg_taint: FrozenSet[str] = _EMPTY
+        for _, t in keywords:
+            kwarg_taint = kwarg_taint | t
+
+        line_sinks = self.info.suppressions.annotations_on(node.lineno, "sink")
+
+        if not line_sinks and self.policy.is_sanitizer(qualname, receiver, method):
+            return _EMPTY
+
+        for sink in self.policy.matching_sinks(qualname, receiver, method):
+            checked = kwarg_taint if sink.kwargs_only else all_args
+            self._report(node, sink.rule_id, sink.display(qualname, receiver, method), checked, acc)
+        for label in line_sinks:
+            self._report(node, "taint-sink", label or "annotated sink", all_args, acc)
+
+        source_label = self.policy.call_source(qualname, receiver, method, self.info.relpath)
+        if source_label is not None:
+            return frozenset({f"{_REAL}call {source_label}"})
+
+        summary = self._resolve_summary(qualname, func, method)
+        if summary is not None:
+            return self._apply_summary(node, summary, positional, keywords, acc)
+
+        flow: FrozenSet[str] = all_args
+        if isinstance(func, ast.Attribute):
+            flow = flow | self._eval(func.value, env, acc)
+        return flow
+
+    def _resolve_relative(self, qualname: str) -> str:
+        dots = len(qualname) - len(qualname.lstrip("."))
+        rest = qualname[dots:]
+        parts = self.info.module.split(".")
+        if dots > len(parts):
+            return rest
+        # one leading dot = current package, each further dot one level up
+        base = parts[: len(parts) - dots]
+        return ".".join(base + ([rest] if rest else [])).strip(".")
+
+    def _resolve_summary(
+        self, qualname: Optional[str], func: ast.expr, method: Optional[str]
+    ) -> Optional[FunctionSummary]:
+        module = self.info.module
+        if qualname:
+            found = self.table.resolve(qualname)
+            if found is not None:
+                return found
+            if qualname.startswith("self.") and self._class_name and qualname.count(".") == 1:
+                found = self.table.resolve(f"{module}.{self._class_name}.{qualname[5:]}")
+                if found is not None:
+                    return found
+            if "." not in qualname:
+                found = self.table.resolve(f"{module}.{qualname}")
+                if found is not None:
+                    return found
+                return self.table.resolve_local(module, qualname)
+            return None
+        if method is not None:
+            return self.table.resolve_local(module, method)
+        return None
+
+    def _apply_summary(
+        self,
+        node: ast.Call,
+        summary: FunctionSummary,
+        positional: List[FrozenSet[str]],
+        keywords: List[Tuple[Optional[str], FrozenSet[str]]],
+        acc: _Acc,
+    ) -> FrozenSet[str]:
+        bind: Dict[str, FrozenSet[str]] = {}
+        overflow: FrozenSet[str] = _EMPTY
+        for i, taint in enumerate(positional):
+            if i < len(summary.params):
+                name = summary.params[i]
+                bind[name] = bind.get(name, _EMPTY) | taint
+            else:
+                overflow = overflow | taint
+        for name, taint in keywords:
+            if name is not None and name in summary.params:
+                bind[name] = bind.get(name, _EMPTY) | taint
+            else:
+                overflow = overflow | taint
+
+        for param, rule, detail in summary.param_sinks:
+            taint = bind.get(param, _EMPTY) | overflow
+            real = _real(taint)
+            if real and self.collect and not (rule == "taint-format" and self._format_quiet):
+                self._add_finding(
+                    node,
+                    "taint-call",
+                    f"tainted argument '{param}' to {summary.name}() reaches "
+                    f"{rule} sink ({detail}) (origins: {_origin_labels(real)})",
+                )
+            for p in sorted(_hyp_params(taint)):
+                acc.param_sinks.add((p, rule, f"via {summary.name}: {detail}"))
+
+        if summary.is_constructor:
+            for attr, params in summary.attr_writes:
+                taint = overflow
+                for p in params:
+                    taint = taint | bind.get(p, _EMPTY)
+                self.table.record_attr(summary.module, attr, _real(taint))
+                base_acc_params = _hyp_params(taint)
+                if base_acc_params:
+                    # a caller storing its own param into a field keeps
+                    # the hypothesis alive through the constructor
+                    for p in base_acc_params:
+                        acc.attr_writes.setdefault(attr, set()).add(p)
+            return _EMPTY
+
+        out: Set[str] = set(summary.taints_return)
+        for p in summary.return_params:
+            out |= bind.get(p, _EMPTY)
+        return frozenset(out)
+
+    # -- findings ----------------------------------------------------------------
+
+    def _report(
+        self, node: ast.AST, rule: str, display: str, origins: FrozenSet[str], acc: _Acc
+    ) -> None:
+        real = _real(origins)
+        if real and self.collect and not (rule == "taint-format" and self._format_quiet):
+            if rule in ("taint-exception", "taint-sink", "taint-format"):
+                message = (
+                    f"tainted value reaches {display} (origins: {_origin_labels(real)})"
+                )
+            else:
+                message = (
+                    f"tainted value flows into {display} (origins: {_origin_labels(real)})"
+                )
+            self._add_finding(node, rule, message)
+        for p in sorted(_hyp_params(origins)):
+            acc.param_sinks.add((p, rule, display))
+
+    def _add_finding(self, node: ast.AST, rule: str, message: str) -> None:
+        finding = Finding(
+            file=self.info.relpath,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0),
+            rule=rule,
+            message=message,
+        )
+        self._findings.setdefault(
+            (finding.file, finding.line, finding.column, finding.rule, finding.message),
+            finding,
+        )

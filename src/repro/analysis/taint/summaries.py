@@ -1,0 +1,131 @@
+"""Function summaries and the cross-module summary table.
+
+Whole-program taint needs to see through calls without inlining them.
+Each function gets a compact summary computed during the same pass that
+finds leaks: because every parameter starts with a *hypothetical*
+origin (``param:<name>``) alongside any real ones, one analysis of the
+body simultaneously answers "does a real secret hit a sink here?"
+(findings) and "would a tainted argument hit a sink here?"
+(``param_sinks``, reported at call sites as ``taint-call``).
+
+Summaries are keyed by dotted qualname (``repro.protocol.sender.
+ShareSender.offer``) with a per-module bare-name index for local
+resolution.  Dataclasses with no explicit ``__init__`` get a
+*synthesised* constructor summary mapping each field parameter to an
+attribute write, so ``Share(index, data, ...)`` propagates field taint
+exactly like a hand-written ``__init__``.
+
+Attribute taint is deliberately **module-scoped**: ``self.x = secret``
+taints reads of ``.x`` within the defining module only.  That is the
+precision/recall trade documented in docs/TAINT.md -- a global attribute
+map would let one module's ``payload`` field taint every other module's
+unrelated ``payload``, burying real leaks in noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+__all__ = ["FunctionSummary", "SummaryTable"]
+
+
+@dataclass
+class FunctionSummary:
+    """What a caller needs to know about one function."""
+
+    qualname: str
+    module: str
+    name: str
+    #: binding order, leading ``self``/``cls`` already stripped
+    params: Tuple[str, ...] = ()
+    is_method: bool = False
+    is_constructor: bool = False
+    #: real origins the return value always carries
+    taints_return: FrozenSet[str] = frozenset()
+    #: params whose taint flows through to the return value
+    return_params: FrozenSet[str] = frozenset()
+    #: ``(param, sink_rule, detail)``: a tainted argument bound to
+    #: ``param`` reaches a ``sink_rule`` sink inside the body
+    param_sinks: Tuple[Tuple[str, str, str], ...] = ()
+    #: constructor only: attribute name -> params written into it
+    attr_writes: Tuple[Tuple[str, FrozenSet[str]], ...] = ()
+
+    def fingerprint(self) -> tuple:
+        return (
+            self.qualname,
+            tuple(sorted(self.taints_return)),
+            tuple(sorted(self.return_params)),
+            tuple(sorted(self.param_sinks)),
+            tuple(sorted((a, tuple(sorted(ps))) for a, ps in self.attr_writes)),
+        )
+
+
+class SummaryTable:
+    """All function summaries plus the module-scoped attribute taint."""
+
+    def __init__(self) -> None:
+        self.functions: Dict[str, FunctionSummary] = {}
+        #: module -> bare name -> qualnames defining it
+        self.by_module: Dict[str, Dict[str, List[str]]] = {}
+        #: class qualname -> constructor summary qualname
+        self.classes: Dict[str, str] = {}
+        #: (module, attribute) -> real origins written into it
+        self.attr_taint: Dict[Tuple[str, str], FrozenSet[str]] = {}
+
+    # -- population -------------------------------------------------------------
+
+    def add(self, summary: FunctionSummary) -> None:
+        self.functions[summary.qualname] = summary
+        names = self.by_module.setdefault(summary.module, {})
+        slot = names.setdefault(summary.name, [])
+        if summary.qualname not in slot:
+            slot.append(summary.qualname)
+
+    def add_class(self, class_qualname: str, init_summary: FunctionSummary) -> None:
+        init_summary.is_constructor = True
+        self.add(init_summary)
+        self.classes[class_qualname] = init_summary.qualname
+        # the bare class name also resolves locally (``Share(...)``)
+        module, _, bare = class_qualname.rpartition(".")
+        slot = self.by_module.setdefault(module, {}).setdefault(bare, [])
+        if init_summary.qualname not in slot:
+            slot.append(init_summary.qualname)
+
+    def record_attr(self, module: str, attr: str, origins: FrozenSet[str]) -> None:
+        if not origins:
+            return
+        key = (module, attr)
+        self.attr_taint[key] = self.attr_taint.get(key, frozenset()) | origins
+
+    # -- lookup -----------------------------------------------------------------
+
+    def attr_origins(self, module: str, attr: str) -> FrozenSet[str]:
+        return self.attr_taint.get((module, attr), frozenset())
+
+    def constructor_for(self, class_qualname: str) -> Optional[FunctionSummary]:
+        qualname = self.classes.get(class_qualname)
+        return self.functions.get(qualname) if qualname else None
+
+    def resolve(self, qualname: str) -> Optional[FunctionSummary]:
+        """An exact qualname: a function directly, or a class's constructor."""
+        if qualname in self.functions:
+            return self.functions[qualname]
+        return self.constructor_for(qualname)
+
+    def resolve_local(self, module: str, bare_name: str) -> Optional[FunctionSummary]:
+        """A bare name resolved within ``module``, only when unambiguous."""
+        qualnames = self.by_module.get(module, {}).get(bare_name, [])
+        if len(qualnames) == 1:
+            return self.functions.get(qualnames[0])
+        return None
+
+    # -- fixpoint ---------------------------------------------------------------
+
+    def fingerprint(self) -> tuple:
+        """A stable digest of everything call sites can observe; the
+        cross-module pass repeats until this stops changing."""
+        return (
+            tuple(s.fingerprint() for _, s in sorted(self.functions.items())),
+            tuple(sorted((k, tuple(sorted(v))) for k, v in self.attr_taint.items())),
+        )

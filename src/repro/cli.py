@@ -443,6 +443,13 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return run_lint(args)
 
 
+def cmd_taint(args: argparse.Namespace) -> int:
+    """Run the secret-taint static analysis (see docs/TAINT.md)."""
+    from repro.analysis.taint.cli import run_taint
+
+    return run_taint(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -695,6 +702,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_lint_arguments(lint)
     lint.set_defaults(func=cmd_lint)
+
+    taint = sub.add_parser(
+        "taint",
+        help="statically prove no secret bytes reach logs, metrics or disk",
+        description="Secret-flow (source/sink/sanitizer) static analysis: "
+        "tracks plaintext payloads, reconstruction outputs and Shamir "
+        "coefficients through assignments and call summaries, and reports "
+        "any path into traces, metric labels, logging, exception messages, "
+        "persistence or repr/f-string formatting.  Exits 0 on a clean "
+        "tree, 1 on findings.  See docs/TAINT.md.",
+    )
+    from repro.analysis.taint.cli import add_taint_arguments
+
+    add_taint_arguments(taint)
+    taint.set_defaults(func=cmd_taint)
 
     return parser
 

@@ -134,7 +134,8 @@ class FlowMux:
         """Payloads pending across every flow queue (excludes the sender's)."""
         return sum(len(queue) for queue in self._queues.values())
 
-    def enqueue(self, flow: int, payload: Optional[bytes] = None) -> bool:
+    # Per-tenant plaintext enters the fleet here (docs/TAINT.md).
+    def enqueue(self, flow: int, payload: Optional[bytes] = None) -> bool:  # taint: source=payload
         """Queue one payload on ``flow``; False if the flow queue was full."""
         queue = self._queues.get(flow)
         if queue is None:

@@ -7,79 +7,42 @@ that type.  Suppressions and the baseline are applied afterwards, so a
 report always accounts for every raw finding (``findings`` +
 ``suppressed`` + ``baselined`` partitions the raw set).
 
-The engine eats its own dogfood: file discovery sorts directory
-listings, findings are sorted before reporting, and nothing here reads
-a clock, the environment or unordered containers -- two runs over the
-same tree produce byte-identical reports.
+The mechanical substrate -- deterministic discovery, the report
+dataclass, suppression splitting, obs counters -- lives in
+:mod:`repro.analysis.framework`, shared with the secret-taint analysis;
+this module keeps only the lint-specific rule dispatch.  Two runs over
+the same tree produce byte-identical reports (pinned by
+``tests/test_lint_regression.py``).
 """
 
 from __future__ import annotations
 
 import ast
 import os
-from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
 
+from repro.analysis import framework
+from repro.analysis.framework import (
+    PARSE_ERROR,
+    AnalysisReport,
+    collect_aliases,
+    split_suppressed,
+)
 from repro.lint.baseline import Baseline
 from repro.lint.checks import default_rules
 from repro.lint.findings import Finding
-from repro.lint.resolve import collect_aliases
 from repro.lint.rules import FileContext, Rule
 from repro.lint.suppressions import BAD_DIRECTIVE, parse_suppressions
 
-__all__ = ["LintEngine", "LintReport", "lint_paths"]
-
-#: Rule id under which unparseable files are reported.
-PARSE_ERROR = "parse-error"
-
-#: Directory names never descended into during discovery.
-_SKIP_DIRS = frozenset({"__pycache__", ".git", ".ruff_cache", ".pytest_cache"})
+__all__ = ["LintEngine", "LintReport", "lint_paths", "PARSE_ERROR"]
 
 
-@dataclass
-class LintReport:
-    """The outcome of one lint run.
+class LintReport(AnalysisReport):
+    """The outcome of one lint run (the shared report shape).
 
     ``findings`` are the live (non-suppressed, non-baselined) hazards;
     ``ok`` is the CI gate.
     """
-
-    root: str
-    files_scanned: int = 0
-    findings: List[Finding] = field(default_factory=list)
-    suppressed: List[Finding] = field(default_factory=list)
-    baselined: List[Finding] = field(default_factory=list)
-
-    @property
-    def ok(self) -> bool:
-        return not self.findings
-
-    def rule_counts(self) -> Dict[str, int]:
-        """Live findings per rule id, sorted by rule id."""
-        counts: Dict[str, int] = {}
-        for finding in self.findings:
-            counts[finding.rule] = counts.get(finding.rule, 0) + 1
-        return dict(sorted(counts.items()))
-
-    def to_dict(self) -> dict:
-        """The ``--format json`` schema (documented in docs/LINTING.md)."""
-        return {
-            "version": 1,
-            "files_scanned": self.files_scanned,
-            "ok": self.ok,
-            "counts": self.rule_counts(),
-            "findings": [finding.to_dict() for finding in self.findings],
-            "suppressed": len(self.suppressed),
-            "baselined": len(self.baselined),
-        }
-
-    def summary(self) -> str:
-        """One-line human summary for the end of text output."""
-        return (
-            f"{len(self.findings)} finding(s) "
-            f"({len(self.suppressed)} suppressed, {len(self.baselined)} baselined) "
-            f"in {self.files_scanned} file(s)"
-        )
 
 
 class LintEngine:
@@ -116,25 +79,10 @@ class LintEngine:
     def discover(root: str, paths: Sequence[str]) -> List[str]:
         """Resolve files/directories to a sorted list of ``.py`` files.
 
-        Directories are walked with sorted listings (the linter must not
-        itself depend on filesystem order); ``__pycache__`` and VCS/tool
-        cache directories are skipped.  Paths are returned relative to
-        ``root`` with forward slashes.
+        Delegates to :func:`repro.analysis.framework.discover`: sorted
+        walk, cache/VCS directories skipped, forward-slash relpaths.
         """
-        found: List[str] = []
-        for path in paths:
-            absolute = path if os.path.isabs(path) else os.path.join(root, path)
-            if os.path.isfile(absolute):
-                found.append(os.path.relpath(absolute, root))
-                continue
-            if not os.path.isdir(absolute):
-                raise FileNotFoundError(f"lint path does not exist: {path!r}")
-            for dirpath, dirnames, filenames in os.walk(absolute):
-                dirnames[:] = sorted(d for d in dirnames if d not in _SKIP_DIRS)
-                for name in sorted(filenames):
-                    if name.endswith(".py"):
-                        found.append(os.path.relpath(os.path.join(dirpath, name), root))
-        return sorted(dict.fromkeys(p.replace(os.sep, "/") for p in found))
+        return framework.discover(root, paths, label="lint")
 
     # -- per-file pass ----------------------------------------------------------
 
@@ -164,7 +112,7 @@ class LintEngine:
                     message=f"file does not parse: {exc.msg}",
                 )
             )
-            return self._split_suppressed(findings, suppressions)
+            return split_suppressed(findings, suppressions)
 
         applicable = [rule for rule in self.rules if rule.applies_to(relpath)]
         if applicable:
@@ -182,13 +130,11 @@ class LintEngine:
                 for rule in dispatch.get(type(node), ()):
                     findings.extend(rule.visit(node, context))
         findings.sort()
-        return self._split_suppressed(findings, suppressions)
+        return split_suppressed(findings, suppressions)
 
     @staticmethod
     def _split_suppressed(findings, suppressions) -> Tuple[List[Finding], List[Finding]]:
-        live = [f for f in findings if not suppressions.is_suppressed(f.rule, f.line)]
-        dead = [f for f in findings if suppressions.is_suppressed(f.rule, f.line)]
-        return live, dead
+        return split_suppressed(findings, suppressions)
 
     # -- whole-run entry point --------------------------------------------------
 
@@ -208,23 +154,8 @@ class LintEngine:
             report.findings, report.baselined = self.baseline.partition(raw)
         else:
             report.findings = raw
-        self._emit_counters(report)
+        framework.emit_counters(report, self.obs, "lint")
         return report
-
-    def _emit_counters(self, report: LintReport) -> None:
-        """Rule-hit counters through repro.obs (no-op without obs)."""
-        if self.obs is None:
-            return
-        registry = self.obs.registry
-        registry.counter("lint_files_scanned_total").inc(report.files_scanned)
-        for rule_id, count in report.rule_counts().items():
-            registry.counter("lint_findings_total", rule=rule_id).inc(count)
-        suppressed_counts: Dict[str, int] = {}
-        for finding in report.suppressed:
-            suppressed_counts[finding.rule] = suppressed_counts.get(finding.rule, 0) + 1
-        for rule_id, count in sorted(suppressed_counts.items()):
-            registry.counter("lint_suppressed_total", rule=rule_id).inc(count)
-        registry.counter("lint_baselined_total").inc(len(report.baselined))
 
 
 def lint_paths(

@@ -1,76 +1,9 @@
-"""Import-alias collection and dotted-name resolution.
+"""Back-compat shim: alias resolution moved to :mod:`repro.analysis.resolve`.
 
-The determinism rules match *fully qualified* names -- ``time.time``,
-``numpy.random.seed``, ``os.environ`` -- but source code refers to them
-through whatever aliases its imports created (``import numpy as np``,
-``from time import perf_counter as tick``).  This module bridges the
-two: :func:`collect_aliases` reads a module's imports into a flat
-``local name -> qualified prefix`` map, and :func:`qualified_name`
-resolves an ``ast`` expression (a ``Name`` or a chain of
-``Attribute`` accesses) against that map.
-
-Resolution is deliberately syntactic: a name that was never imported
-resolves to itself, so builtins (``set``, ``frozenset``) match without
-bookkeeping, at the cost of a local variable that shadows a module name
-being resolved as if it were the module.  That trade is right for a
-lint pass -- a false positive is one ``# lint: disable=`` comment away,
-while full scope analysis would triple the size of this subsystem.
+Import-alias collection and dotted-name resolution are shared by every
+analysis tool; this module keeps the original import path working.
 """
 
-from __future__ import annotations
-
-import ast
-from typing import Dict, Optional
+from repro.analysis.resolve import collect_aliases, qualified_name
 
 __all__ = ["collect_aliases", "qualified_name"]
-
-
-def collect_aliases(tree: ast.AST) -> Dict[str, str]:
-    """Map each locally bound import name to its qualified origin.
-
-    * ``import time``                 -> ``{"time": "time"}``
-    * ``import numpy as np``          -> ``{"np": "numpy"}``
-    * ``import numpy.random``         -> ``{"numpy": "numpy"}`` (binds the root)
-    * ``import numpy.random as npr``  -> ``{"npr": "numpy.random"}``
-    * ``from time import perf_counter as tick`` -> ``{"tick": "time.perf_counter"}``
-    * ``from datetime import datetime`` -> ``{"datetime": "datetime.datetime"}``
-
-    Relative imports (``from .foo import bar``) are recorded with their
-    leading dots; they can never collide with the absolute stdlib and
-    numpy names the rules match, which is exactly the point.
-    """
-    aliases: Dict[str, str] = {}
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                if alias.asname is not None:
-                    aliases[alias.asname] = alias.name
-                else:
-                    # `import a.b.c` binds only the root name `a`.
-                    root = alias.name.split(".", 1)[0]
-                    aliases[root] = root
-        elif isinstance(node, ast.ImportFrom):
-            module = "." * node.level + (node.module or "")
-            for alias in node.names:
-                if alias.name == "*":
-                    continue
-                bound = alias.asname or alias.name
-                aliases[bound] = f"{module}.{alias.name}" if module else alias.name
-    return aliases
-
-
-def qualified_name(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
-    """Resolve a ``Name``/``Attribute`` chain to a dotted qualified name.
-
-    Returns ``None`` for anything that is not a plain dotted chain ending
-    in a name -- calls on intermediate results, subscripts, literals --
-    because such expressions have no static qualified name to match.
-    """
-    parts = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if not isinstance(node, ast.Name):
-        return None
-    parts.append(aliases.get(node.id, node.id))
-    return ".".join(reversed(parts))

@@ -1,115 +1,13 @@
-"""``# lint: disable=...`` directive parsing.
+"""Back-compat shim: directives moved to :mod:`repro.analysis.suppressions`.
 
-Two directive forms, modelled on the usual linter conventions:
-
-* ``# lint: disable=rule-a,rule-b`` suppresses those rules on the line
-  the comment sits on (put it on the first line of a multi-line
-  statement -- findings anchor to the statement's first line).
-* ``# lint: file-disable=rule-a`` anywhere in a file (conventionally in
-  the module docstring block at the top) suppresses the rule for the
-  whole file.
-
-Every suppression is expected to carry a human justification in an
-adjacent comment -- the linter cannot check prose, but reviews can; see
-docs/LINTING.md.  Directives naming a rule that does not exist are
-themselves reported under the ``bad-directive`` pseudo-rule, so typos
-cannot silently disable nothing.  Only genuine ``#`` comments count:
-the source is tokenised, so directive *examples* inside docstrings and
-string literals are inert.
+The ``# lint:`` / ``# taint:`` directive machinery is shared by every
+analysis tool; this module keeps the original import path working.
 """
 
-from __future__ import annotations
-
-import io
-import re
-import tokenize
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
-
-__all__ = ["FileSuppressions", "parse_suppressions", "BAD_DIRECTIVE"]
-
-#: Pseudo-rule id under which malformed/unknown directives are reported.
-BAD_DIRECTIVE = "bad-directive"
-
-_DIRECTIVE = re.compile(
-    r"#\s*lint:\s*(?P<scope>file-disable|disable)\s*=\s*(?P<rules>[A-Za-z0-9_,\- ]+)"
+from repro.analysis.suppressions import (
+    BAD_DIRECTIVE,
+    FileSuppressions,
+    parse_suppressions,
 )
 
-
-class FileSuppressions:
-    """The parsed suppression state of one source file."""
-
-    def __init__(self) -> None:
-        #: rules disabled for the entire file
-        self.file_rules: Set[str] = set()
-        #: line number -> rules disabled on that line
-        self.line_rules: Dict[int, Set[str]] = {}
-        #: (line, column, message) triples for malformed directives
-        self.bad_directives: List[Tuple[int, int, str]] = []
-
-    def is_suppressed(self, rule: str, line: int) -> bool:
-        """True if ``rule`` is disabled on ``line`` (or file-wide)."""
-        return rule in self.file_rules or rule in self.line_rules.get(line, ())
-
-
-def _comments(source_lines: Sequence[str]) -> "List[Tuple[int, int, str]]":
-    """All ``#`` comment tokens as ``(line, column, text)`` triples.
-
-    Tokenising (rather than scanning lines) keeps directive examples in
-    docstrings and string literals inert.  A file that fails to tokenise
-    yields no comments -- it will not parse either, and the engine
-    reports that as ``parse-error``.
-    """
-    reader = io.StringIO("\n".join(source_lines) + "\n").readline
-    comments: List[Tuple[int, int, str]] = []
-    try:
-        for token in tokenize.generate_tokens(reader):
-            if token.type == tokenize.COMMENT:
-                comments.append((token.start[0], token.start[1], token.string))
-    except (tokenize.TokenError, IndentationError, SyntaxError):
-        pass
-    return comments
-
-
-def parse_suppressions(
-    source_lines: Sequence[str], known_rules: Iterable[str]
-) -> FileSuppressions:
-    """Extract the suppression directives from a file's source lines.
-
-    Args:
-        source_lines: the file's lines (1-based indexing is applied here;
-            pass ``source.splitlines()``).
-        known_rules: valid rule ids; directives naming anything else are
-            recorded in :attr:`FileSuppressions.bad_directives`.
-    """
-    known = set(known_rules) | {BAD_DIRECTIVE}
-    suppressions = FileSuppressions()
-    for lineno, column, text in _comments(source_lines):
-        if "lint:" not in text:
-            continue
-        match = _DIRECTIVE.search(text)
-        if match is None:
-            # A comment that clearly tried to be a directive but is not
-            # well-formed must fail loudly, or a typo silently disables
-            # nothing; prose merely mentioning "lint:" stays exempt via
-            # the directive-shaped prefix check.
-            if re.match(r"#\s*lint:\s*\S+\s*=", text):
-                suppressions.bad_directives.append(
-                    (lineno, column, "malformed lint directive (expected "
-                     "'# lint: disable=<rule>[,<rule>]' or '# lint: file-disable=<rule>')")
-                )
-            continue
-        names = [name.strip() for name in match.group("rules").split(",")]
-        names = [name for name in names if name]
-        unknown = sorted(name for name in names if name not in known)
-        if unknown:
-            suppressions.bad_directives.append(
-                (lineno, column, f"unknown rule(s) in lint directive: {', '.join(unknown)}")
-            )
-        valid = {name for name in names if name in known}
-        if not valid:
-            continue
-        if match.group("scope") == "file-disable":
-            suppressions.file_rules.update(valid)
-        else:
-            suppressions.line_rules.setdefault(lineno, set()).update(valid)
-    return suppressions
+__all__ = ["FileSuppressions", "parse_suppressions", "BAD_DIRECTIVE"]

@@ -112,7 +112,8 @@ class RemicssNode:
         for port in ports_in:
             port.on_receive(self.receiver.handle_datagram)
 
-    def send(self, payload: Optional[bytes] = None) -> bool:
+    # Application plaintext enters the protocol here (docs/TAINT.md).
+    def send(self, payload: Optional[bytes] = None) -> bool:  # taint: source=payload
         """Offer one source symbol; False if dropped at the source queue."""
         return self.sender.offer(payload)
 

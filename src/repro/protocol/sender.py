@@ -105,6 +105,16 @@ class _PendingSymbol:
         #: Shares prefetched by the batch split path (None = not split yet).
         self.shares: Optional[List[Optional[Share]]] = None
 
+    def __repr__(self) -> str:
+        # The queued plaintext must not leak through logs or debugger
+        # output; describe it instead of dumping it (docs/TAINT.md).
+        from repro.redact import redact_bytes
+
+        return (
+            f"_PendingSymbol(seq={self.seq}, flow={self.flow}, "
+            f"payload={redact_bytes(self.payload)}, k={self.k}, m={self.m})"
+        )
+
 
 class ShareSender:
     """The send path of a protocol node.

@@ -1,0 +1,42 @@
+"""Redacted descriptions of secret and share buffers.
+
+The taint analysis (docs/TAINT.md) forbids raw secret bytes in logs,
+traces, exceptions and ``repr`` output; this module is the sanctioned
+way to *talk about* a buffer without showing it.  :func:`redact_bytes`
+names a buffer by length and truncated SHA-256 -- enough to correlate
+two sightings of the same payload in diagnostics, nothing more -- and
+is registered as a sanitizer in the taint policy, so its output is
+declassified by construction.
+
+Kept dependency-free (stdlib only) so every layer -- ``sharing``,
+``protocol``, ``obs`` -- can use it without import cycles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+__all__ = ["redact_bytes", "describe_bytes"]
+
+#: Hex digits of SHA-256 retained in redacted descriptions; 12 nibbles
+#: (48 bits) is plenty to correlate buffers within one run's diagnostics
+#: while staying visually distinct from a real hex dump.
+_DIGEST_NIBBLES = 12
+
+
+def redact_bytes(data: Optional[bytes]) -> str:
+    """A safe display form: ``<n bytes redacted sha256:abc123...>``.
+
+    ``None`` renders as ``<none>`` so callers can redact optional
+    payloads unconditionally.
+    """
+    if data is None:
+        return "<none>"
+    digest = hashlib.sha256(bytes(data)).hexdigest()[:_DIGEST_NIBBLES]
+    return f"<{len(data)} bytes redacted sha256:{digest}>"
+
+
+def describe_bytes(data: Optional[bytes]) -> str:
+    """Alias of :func:`redact_bytes` reading better in error messages."""
+    return redact_bytes(data)

@@ -48,6 +48,16 @@ class Share:
         if not 1 <= self.k <= self.m:
             raise ValueError(f"invalid threshold parameters k={self.k}, m={self.m}")
 
+    def __repr__(self) -> str:
+        # Share material must not leak through logs or pytest output;
+        # describe the payload instead of dumping it (docs/TAINT.md).
+        from repro.redact import redact_bytes
+
+        return (
+            f"Share(index={self.index}, data={redact_bytes(self.data)}, "
+            f"k={self.k}, m={self.m})"
+        )
+
 
 def validate_parameters(k: int, m: int) -> None:
     """Check the threshold-scheme parameter ordering ``1 <= k <= m``.

@@ -73,6 +73,16 @@ class RobustResult:
     corrupted: FrozenSet[int]
     agreement: int
 
+    def __repr__(self) -> str:
+        # The recovered plaintext must not leak through logs or pytest
+        # output; describe it instead of dumping it (docs/TAINT.md).
+        from repro.redact import redact_bytes
+
+        return (
+            f"RobustResult(secret={redact_bytes(self.secret)}, "
+            f"corrupted={sorted(self.corrupted)}, agreement={self.agreement})"
+        )
+
 
 def robust_reconstruct(shares: Sequence[Share], errors: int = None) -> RobustResult:
     """Recover the secret from shares of which some may be *corrupted*.
