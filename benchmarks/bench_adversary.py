@@ -1,18 +1,22 @@
 """The under-attack trend file: what each canonical adversary costs.
 
 Runs every canonical attack scenario (docs/ADVERSARY.md) through the
-seeded harness and records, per scenario, the delivery ratio, the
-detected-corruption and replay-drop rates, and the delivery digest --
-plus a ``deterministic`` flag from re-running one scenario and comparing
-the full JSON rows byte-for-byte.
+seeded harness -- unauthenticated and with authenticated shares armed
+(docs/AUTH.md) -- and records, per scenario, the delivery ratio, the
+detected-corruption / auth-failure / replay-drop rates, and the delivery
+digest; plus a ``deterministic`` flag from re-running one scenario per
+arm and comparing the full JSON rows byte-for-byte, and an
+``auth_overhead`` block timing the sender hot path (split + tag + encode)
+tagged vs untagged in MB/s.
 
 The committed ``BENCH_adversary.json`` at the repo root is generated from
 a ``--quick`` run, and ``--check BENCH_adversary.json`` gates CI: the
 simulation is deterministic end to end, so a fresh same-settings run must
 match the committed rows *exactly* -- any drift means attack or protocol
 behaviour changed and the trend file (and its PR) must say so.  Silent
-corruption (``wrong_payloads > 0``) or a broken determinism flag fails
-the gate regardless of the baseline.
+corruption (``wrong_payloads > 0`` in either arm) or a broken determinism
+flag fails the gate regardless of the baseline.  ``auth_overhead`` is
+wall-clock timing and is excluded from the exact-match comparison.
 
 Run under pytest-benchmark (``pytest benchmarks/bench_adversary.py -s``)
 or directly::
@@ -24,13 +28,18 @@ or directly::
 import argparse
 import json
 import sys
+import time
 
+import numpy as np
 from conftest import run_once
 
 from repro.adversary.active import canonical_attack, run_under_attack
 from repro.adversary.active.scenarios import CANONICAL_ATTACKS
+from repro.protocol.auth import AuthConfig, ShareAuthenticator, derive_root_key
+from repro.protocol.wire import SCHEME_IDS, encode_share
+from repro.sharing.shamir import ShamirScheme
 
-SCHEMA = "bench-adversary/1"
+SCHEMA = "bench-adversary/2"
 SEED = 11
 WARMUP = 4.0
 DURATION = 30.0
@@ -39,7 +48,7 @@ DURATION = 30.0
 START = WARMUP
 
 
-def measure(scenario: str, quick: bool = False) -> dict:
+def measure(scenario: str, quick: bool = False, auth: bool = False) -> dict:
     """One scenario run; returns a JSON-safe row."""
     duration = DURATION / 2 if quick else DURATION
     stop = START + duration
@@ -48,11 +57,12 @@ def measure(scenario: str, quick: bool = False) -> dict:
         duration=duration,
         warmup=WARMUP,
         seed=SEED,
+        auth=auth,
     )
     receiver = row["receiver"]
     stats = row["attack"]["stats"]
     shares = receiver["shares_received"]
-    return {
+    out = {
         "scenario": scenario,
         "delivery_ratio": round(row["delivery_ratio"], 6),
         "wrong_payloads": row["wrong_payloads"],
@@ -70,34 +80,96 @@ def measure(scenario: str, quick: bool = False) -> dict:
         "targeted_corruptions": stats["targeted_corruptions"],
         "digest": row["digest"],
     }
+    if auth:
+        # The auth arm's detection ledger: every forged/corrupted share
+        # lands here instead of (or before) the robust decoder.
+        out["auth_failed_rate"] = (
+            round(receiver["auth_failed_shares"] / shares, 6) if shares else 0.0
+        )
+        out["auth_failed_shares"] = receiver["auth_failed_shares"]
+        out["auth_verified_shares"] = receiver["auth_verified_shares"]
+    return out
+
+
+def measure_auth_overhead(quick: bool = False) -> dict:
+    """Sender hot path (split + tag + encode) MB/s, tagged vs untagged.
+
+    Wall-clock timing: reported for the trend file but *excluded* from the
+    exact-match baseline comparison.
+    """
+    symbols = 64 if quick else 256
+    symbol_size = 1250
+    k, m = 2, 4
+    scheme = ShamirScheme()
+    scheme_id = SCHEME_IDS[scheme.name]
+    authenticator = ShareAuthenticator(AuthConfig(root_key=derive_root_key(SEED)))
+    rng = np.random.default_rng(SEED)
+    payloads = [rng.bytes(symbol_size) for _ in range(symbols)]
+
+    def pump(tagged: bool) -> float:
+        split_rng = np.random.default_rng(SEED + 1)
+        begin = time.perf_counter()
+        for seq, payload in enumerate(payloads):
+            for share in scheme.split(payload, k, m, split_rng):
+                tag = (
+                    authenticator.tag(0, seq, share, scheme_id) if tagged else None
+                )
+                encode_share(seq, share, scheme.name, tag=tag)
+        return time.perf_counter() - begin
+
+    pump(True)  # warm caches (GF tables, key chain) outside the clock
+    # Best-of-N: the pump is milliseconds long, so single runs are noisy.
+    untagged_elapsed = min(pump(False) for _ in range(5))
+    tagged_elapsed = min(pump(True) for _ in range(5))
+    megabytes = symbols * symbol_size / 1e6
+    return {
+        "symbols": symbols,
+        "symbol_size": symbol_size,
+        "k": k,
+        "m": m,
+        "untagged_mbps": round(megabytes / untagged_elapsed, 2),
+        "tagged_mbps": round(megabytes / tagged_elapsed, 2),
+        "tagged_over_untagged": round(tagged_elapsed / untagged_elapsed, 4),
+    }
 
 
 def run_adversary_bench(quick: bool = False) -> dict:
-    """All scenarios plus the same-seed determinism flag."""
-    scenarios = {name: measure(name, quick=quick) for name in sorted(CANONICAL_ATTACKS)}
-    replay = measure(sorted(CANONICAL_ATTACKS)[0], quick=quick)
-    deterministic = json.dumps(replay, sort_keys=True) == json.dumps(
-        scenarios[sorted(CANONICAL_ATTACKS)[0]], sort_keys=True
-    )
+    """Both arms of every scenario plus the same-seed determinism flag."""
+    names = sorted(CANONICAL_ATTACKS)
+    scenarios = {name: measure(name, quick=quick) for name in names}
+    auth_scenarios = {name: measure(name, quick=quick, auth=True) for name in names}
+    deterministic = json.dumps(
+        measure(names[0], quick=quick), sort_keys=True
+    ) == json.dumps(scenarios[names[0]], sort_keys=True) and json.dumps(
+        measure(names[0], quick=quick, auth=True), sort_keys=True
+    ) == json.dumps(auth_scenarios[names[0]], sort_keys=True)
     return {
         "schema": SCHEMA,
         "quick": quick,
         "seed": SEED,
         "deterministic": deterministic,
         "scenarios": scenarios,
+        "auth_scenarios": auth_scenarios,
+        "auth_overhead": measure_auth_overhead(quick=quick),
     }
 
 
 def check_against_baseline(results: dict, baseline: dict) -> "list[str]":
-    """Exact-reproducibility gate; returns failure messages."""
+    """Exact-reproducibility gate; returns failure messages.
+
+    Every scenario row in both arms must match the committed file exactly;
+    ``auth_overhead`` is wall-clock timing and is not compared.
+    """
     failures = []
     if not results["deterministic"]:
         failures.append("deterministic: same-seed replay diverged within this run")
-    for name, row in sorted(results["scenarios"].items()):
-        if row["wrong_payloads"]:
-            failures.append(
-                f"{name}: {row['wrong_payloads']} silently corrupted payloads delivered"
-            )
+    for arm in ("scenarios", "auth_scenarios"):
+        for name, row in sorted(results[arm].items()):
+            if row["wrong_payloads"]:
+                failures.append(
+                    f"{arm}/{name}: {row['wrong_payloads']} silently corrupted "
+                    "payloads delivered"
+                )
     if baseline.get("schema") != results["schema"]:
         failures.append(
             f"schema: committed {baseline.get('schema')!r} != {results['schema']!r} "
@@ -110,21 +182,22 @@ def check_against_baseline(results: dict, baseline: dict) -> "list[str]":
             "rerun with matching settings"
         )
         return failures
-    for name, row in sorted(results["scenarios"].items()):
-        committed = baseline["scenarios"].get(name)
-        if committed is None:
-            failures.append(f"{name}: scenario missing from the committed file")
-            continue
-        if committed != row:
-            drift = sorted(
-                key for key in set(row) | set(committed)
-                if row.get(key) != committed.get(key)
-            )
-            failures.append(
-                f"{name}: run diverges from the committed rows on {drift} "
-                "(the simulation is deterministic -- this is a behaviour "
-                "change; regenerate BENCH_adversary.json and explain it)"
-            )
+    for arm in ("scenarios", "auth_scenarios"):
+        for name, row in sorted(results[arm].items()):
+            committed = baseline.get(arm, {}).get(name)
+            if committed is None:
+                failures.append(f"{arm}/{name}: scenario missing from the committed file")
+                continue
+            if committed != row:
+                drift = sorted(
+                    key for key in set(row) | set(committed)
+                    if row.get(key) != committed.get(key)
+                )
+                failures.append(
+                    f"{arm}/{name}: run diverges from the committed rows on {drift} "
+                    "(the simulation is deterministic -- this is a behaviour "
+                    "change; regenerate BENCH_adversary.json and explain it)"
+                )
     return failures
 
 
@@ -135,6 +208,15 @@ def test_adversary_scenarios(benchmark):
     for name, row in results["scenarios"].items():
         assert row["wrong_payloads"] == 0, name
         assert row["delivery_ratio"] > 0, name
+    for name, row in results["auth_scenarios"].items():
+        assert row["wrong_payloads"] == 0, name
+        assert row["delivery_ratio"] > 0, name
+    # Forged/corrupted shares must land in the auth ledger, and tagging
+    # must actually cost something measurable but not dominate.
+    assert results["auth_scenarios"]["forged_injection"]["auth_failed_shares"] > 0
+    assert results["auth_scenarios"]["corruption_storm"]["auth_failed_shares"] > 0
+    assert results["auth_overhead"]["tagged_mbps"] > 0
+    assert results["auth_overhead"]["untagged_mbps"] > 0
 
 
 def main() -> None:

@@ -29,6 +29,7 @@ from typing import Optional, Sequence
 
 from repro.core.channel import Channel, ChannelSet
 from repro.netsim.rng import RngRegistry
+from repro.protocol.auth import AuthConfig, derive_root_key
 from repro.protocol.config import ProtocolConfig
 from repro.protocol.remicss import PointToPointNetwork
 from repro.protocol.resilience import ResilienceConfig, ResilienceManager
@@ -72,6 +73,7 @@ def run_under_attack(
     requirements=None,
     channels: Optional[ChannelSet] = None,
     risks: Optional[Sequence[float]] = None,
+    auth: bool = False,
 ) -> dict:
     """Run one seeded measurement under ``plan`` and return a JSON row.
 
@@ -94,6 +96,11 @@ def run_under_attack(
         channels: testbed override (default :func:`default_channels`).
         risks: adaptive-attacker risk ranking override (defaults to the
             channel set's own risks).
+        auth: arm authenticated shares (docs/AUTH.md): every share carries
+            a keyed MAC under a root key derived from ``seed``, the
+            receiver drops bad-tag shares before reassembly, and robust
+            decoding runs in erasure mode -- forged or corrupted shares
+            are detected unconditionally, not just when inconsistent.
 
     Returns:
         A flat JSON-safe dict; see the property suite
@@ -108,6 +115,7 @@ def run_under_attack(
         symbol_size=symbol_size,
         share_synthetic=False,
         byzantine_tolerance=tolerance,
+        auth=AuthConfig(root_key=derive_root_key(seed)) if auth else None,
     )
     network = PointToPointNetwork(channels, symbol_size, registry)
     engine = network.engine
@@ -172,12 +180,17 @@ def run_under_attack(
         "min_k_sampled": min_k,
         "kappa_floor": k_floor,
         "kappa_floor_held": min_k is None or min_k >= k_floor,
+        "auth_armed": auth,
         "admission_paused_drops": sender_stats.admission_paused_drops,
         "sender": sender_stats.as_dict(),
         "receiver": receiver.stats.as_dict(),
         "corrupt_by_channel": {
             str(channel): count
             for channel, count in sorted(receiver.corrupt_by_channel.items())
+        },
+        "auth_fail_by_channel": {
+            str(channel): count
+            for channel, count in sorted(receiver.auth_fail_by_channel.items())
         },
         "attack": attacker.summary(),
         "resilience": manager.summary() if manager is not None else None,

@@ -19,11 +19,13 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.protocol.wire import (
+    FLAG_AUTH,
     FLAG_FLOW,
     FLOW_HEADER_SIZE,
     HEADER_SIZE,
     SCHEME_IDS,
     SHARE_MAGIC,
+    TAG_SIZE,
     WireFormatError,
     decode_share,
     encode_share,
@@ -48,8 +50,13 @@ def share_body_offset(packet: bytes) -> Optional[int]:
     version = packet[2]
     flags = packet[15]
     offset = HEADER_SIZE
-    if version == 2 and flags & FLAG_FLOW:
+    if version >= 2 and flags & FLAG_FLOW:
         offset = FLOW_HEADER_SIZE
+    if version >= 3 and flags & FLAG_AUTH:
+        # Skip the MAC so corruption hits the true share body -- flipping
+        # tag bytes would be a strictly weaker attack (the share itself
+        # stays consistent; only verification fails).
+        offset += TAG_SIZE
     if len(packet) <= offset:
         return None
     return offset
@@ -111,6 +118,10 @@ def forge_share_packet(
     length) but carries an attacker-chosen sequence number and share
     index with a random body -- valid framing end to end, so it passes
     :func:`decode_share` and lands in the receiver's reassembly table.
+    An authenticated template's tag is copied verbatim onto the forgery
+    (the strongest move available without the key: the frame is fully
+    well-formed, and only MAC verification can reject it -- the tag binds
+    the original slot and body, so it cannot verify for the forged ones).
 
     Returns ``None`` when the template is not a decodable share of a
     known scheme (the attacker cannot imitate what it cannot parse).
@@ -129,6 +140,8 @@ def forge_share_packet(
         index = int(rng.integers(1, header.m + 1))
     forged = Share(index=index, data=rng.bytes(len(share.data)), k=header.k, m=header.m)
     try:
-        return encode_share(seq, forged, header.scheme_name, flow=header.flow)
+        return encode_share(
+            seq, forged, header.scheme_name, flow=header.flow, tag=header.tag
+        )
     except ValueError:
         return None

@@ -203,6 +203,10 @@ def default_policy() -> TaintPolicy:
         source_params=[
             # Conventional secret names are secret wherever they appear.
             SourceParam(names=("secret", "secrets", "plaintext", "plaintexts")),
+            # MAC key material (docs/AUTH.md): a leaked share-MAC key turns
+            # "forgery is detected unconditionally" back into silent
+            # acceptance, so keys are secret wherever they flow.
+            SourceParam(names=("root_key", "mac_key", "auth_key")),
             # Application payloads are secret exactly where they enter the
             # protocol; downstream `payload` variables (wire datagrams,
             # share buffers) are *share* material and must not be blanket
@@ -246,6 +250,16 @@ def default_policy() -> TaintPolicy:
             # diagnostics (docs/TAINT.md "how to declassify").
             Sanitizer(prefixes=("hashlib.",)),
             Sanitizer(methods=("hexdigest", "digest")),
+            # Keyed-MAC outputs cross the authentication boundary: a
+            # BLAKE2b/HMAC tag reveals nothing about the key (PRF
+            # assumption), and compare_digest returns a boolean fact.
+            Sanitizer(prefixes=("hmac.",)),
+            Sanitizer(
+                qualnames=(
+                    "repro.protocol.auth.mac.compute_tag",
+                    "compute_tag",
+                )
+            ),
             Sanitizer(
                 qualnames=(
                     "repro.redact.redact_bytes",

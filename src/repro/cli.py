@@ -276,7 +276,11 @@ def cmd_attack(args: argparse.Namespace) -> int:
         if args.scenario in (None, "all")
         else (args.scenario,)
     )
-    spec_kwargs = {"scenarios": scenarios, "resilience": args.resilience}
+    spec_kwargs = {
+        "scenarios": scenarios,
+        "resilience": args.resilience,
+        "auth": args.auth,
+    }
     if args.kappa:
         spec_kwargs["kappas"] = tuple(args.kappa)
     if args.duration is not None:
@@ -399,9 +403,12 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         symbols_per_flow=args.symbols,
         symbol_size=args.symbol_size,
         channels=args.channels,
-        synthetic=not args.real,
+        # Authenticated shares need real payloads (a tag over a synthetic
+        # share authenticates nothing), so --auth implies --real.
+        synthetic=not (args.real or args.auth),
         sender_batch_limit=args.batch_limit,
         batch_reconstruct=not args.no_batch_reconstruct,
+        auth=args.auth,
     )
     report = run_fleet(shards=args.shards, obs=obs, **kwargs)
     print(
@@ -623,6 +630,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="arm the quarantine/failover/repair layer during the attacks",
     )
     attack.add_argument(
+        "--auth",
+        action="store_true",
+        help="arm authenticated shares (keyed MACs + erasure decoding; "
+        "see docs/AUTH.md)",
+    )
+    attack.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -674,6 +687,11 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument(
         "--real", action="store_true",
         help="split and reconstruct real secrets (default: synthetic sizes only)",
+    )
+    fleet.add_argument(
+        "--auth", action="store_true",
+        help="arm authenticated shares per cell with tenant-isolated flow "
+        "keys (implies --real; see docs/AUTH.md)",
     )
     fleet.add_argument(
         "--batch-limit", type=int, default=8,

@@ -36,6 +36,7 @@ def attack_spec(
     seed: int = 11,
     quick: bool = False,
     resilience: bool = False,
+    auth: bool = False,
 ) -> SweepSpec:
     """The under-attack sweep as a declarative spec."""
     if scenarios is None:
@@ -49,14 +50,19 @@ def attack_spec(
         duration = min(duration, 12.0)
         warmup = min(warmup, 2.0)
         kappas = kappas[:2]
+    base = {
+        "duration": duration,
+        "warmup": warmup,
+        "seed": seed,
+        "resilience": resilience,
+    }
+    if auth:
+        # Only present when armed: point identity (and thus every derived
+        # seed) of the existing unauthenticated grid must not change.
+        base["auth"] = True
     return SweepSpec(
         spec_id="attack",
-        base={
-            "duration": duration,
-            "warmup": warmup,
-            "seed": seed,
-            "resilience": resilience,
-        },
+        base=base,
         grid=[
             {"scenario": scenario, "kappa": kappa}
             for scenario in scenarios
@@ -70,6 +76,7 @@ def attack_point(params: Dict, seed: int) -> Dict:
     kappa = params["kappa"]
     warmup = params["warmup"]
     duration = params["duration"]
+    auth = params.get("auth", False)
     plan = canonical_attack(params["scenario"], warmup, warmup + duration)
     row = run_under_attack(
         plan,
@@ -80,10 +87,11 @@ def attack_point(params: Dict, seed: int) -> Dict:
         warmup=warmup,
         seed=seed,
         resilience=params["resilience"],
+        auth=auth,
     )
     receiver = row["receiver"]
     shares = receiver["shares_received"]
-    return {
+    out = {
         "scenario": params["scenario"],
         "kappa": kappa,
         "delivery_ratio": round(row["delivery_ratio"], 6),
@@ -100,6 +108,13 @@ def attack_point(params: Dict, seed: int) -> Dict:
         "attack_applied": row["attack"]["applied"],
         "digest": row["digest"],
     }
+    if auth:
+        # Auth-only fields ride along only when armed, so the committed
+        # unauthenticated rows keep their exact shape.
+        out["auth_armed"] = True
+        out["auth_failed_shares"] = receiver["auth_failed_shares"]
+        out["auth_verified_shares"] = receiver["auth_verified_shares"]
+    return out
 
 
 def run_attack_sweep(
@@ -110,11 +125,12 @@ def run_attack_sweep(
     seed: int = 11,
     quick: bool = False,
     resilience: bool = False,
+    auth: bool = False,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
 ) -> List[Dict]:
     """Run the under-attack grid and return its rows."""
-    spec = attack_spec(scenarios, kappas, duration, warmup, seed, quick, resilience)
+    spec = attack_spec(scenarios, kappas, duration, warmup, seed, quick, resilience, auth)
     runner = SweepRunner(jobs=jobs, cache=cache)
     return [row for row in values(runner.run(spec, attack_point)) if row is not None]
 

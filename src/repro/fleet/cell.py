@@ -70,7 +70,10 @@ def run_cell(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
             and ``tenants`` (descriptor dicts, see :mod:`repro.fleet.spec`),
             plus the shared knobs ``channels``, ``loss``, ``delay``,
             ``rate``, ``symbol_size``, ``synthetic``, ``sender_batch_limit``,
-            ``batch_reconstruct``, ``quantum`` and ``queue_limit``.
+            ``batch_reconstruct``, ``quantum`` and ``queue_limit``; the
+            optional ``auth`` knob (present only when armed, so existing
+            cell seeds are untouched) authenticates every share under a
+            cell root key derived from the cell's own seed.
         seed: the point's derived seed -- the only randomness root.
 
     Returns:
@@ -79,6 +82,7 @@ def run_cell(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     """
     fleet = FleetSpec.from_dict({"tenants": params["tenants"], "flows": params["flows"]})
     synthetic = bool(params["synthetic"])
+    auth = bool(params.get("auth", False))
     symbol_size = int(params["symbol_size"])
     n = int(params["channels"])
     channels = ChannelSet(
@@ -92,6 +96,15 @@ def run_cell(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     )
     registry = RngRegistry(seed)
     network = PointToPointNetwork(channels, symbol_size, registry)
+    auth_config = None
+    if auth:
+        # The cell's root key derives from its seed -- which itself derives
+        # from the cell's identity alone -- so any shard computes the same
+        # keys; per-flow keys then derive by flow id, so every tenant flow
+        # is authenticated under its own key (docs/AUTH.md).
+        from repro.protocol.auth import AuthConfig, derive_root_key
+
+        auth_config = AuthConfig(root_key=derive_root_key(seed))
     config = ProtocolConfig(
         kappa=1.0,
         mu=1.0,
@@ -99,6 +112,7 @@ def run_cell(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
         share_synthetic=synthetic,
         sender_batch_limit=int(params["sender_batch_limit"]),
         batch_reconstruct=bool(params["batch_reconstruct"]),
+        auth=auth_config,
     )
     node_a, node_b = network.node_pair(config, registry)
     mux = FlowMux(

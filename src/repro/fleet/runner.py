@@ -131,14 +131,20 @@ class FleetRunner:
         batch_reconstruct: bool = True,
         quantum: float = 1.0,
         queue_limit: int = 64,
+        auth: bool = False,
     ) -> FleetReport:
         """Admit, shard, execute and merge one fleet.
 
         The keyword knobs describe the per-cell environment (channel
         shape, symbol size, batching) and become part of every cell's
         sweep-point parameters -- changing any of them changes every
-        cell's derived seed, exactly like editing a sweep grid.
+        cell's derived seed, exactly like editing a sweep grid.  ``auth``
+        arms authenticated shares (docs/AUTH.md) and requires real
+        payloads; it enters the cell parameters only when armed, so every
+        existing unauthenticated cell keeps its exact seed.
         """
+        if auth and synthetic:
+            raise ValueError("auth requires real payloads (synthetic=False)")
         report = FleetReport(
             spec_id=spec_id, shards=self.shards, flows_total=len(fleet.flows)
         )
@@ -171,6 +177,8 @@ class FleetRunner:
             "quantum": quantum,
             "queue_limit": queue_limit,
         }
+        if auth:
+            base["auth"] = True
 
         cell_values: List[Dict[str, Any]] = []
         sweep = SweepRunner(

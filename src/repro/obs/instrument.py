@@ -213,6 +213,7 @@ _SENDER_COUNTERS = {
     "shares_sent": "sim_sender_shares_total",
     "share_send_failures": "sim_sender_share_send_failures_total",
     "readiness_stalls": "sim_sender_readiness_stalls_total",
+    "auth_tagged_shares": "sim_sender_auth_tagged_total",
 }
 
 #: ReceiverStats field -> exported counter name (labelled by node).
@@ -230,6 +231,9 @@ _RECEIVER_COUNTERS = {
     "replayed_shares_dropped": "sim_receiver_replayed_shares_total",
     "repair_extensions": "sim_receiver_repair_extensions_total",
     "repair_recovered": "sim_receiver_repair_recovered_total",
+    "auth_verified_shares": "sim_receiver_auth_verified_total",
+    "auth_failed_shares": "sim_receiver_auth_failed_total",
+    "auth_missing_shares": "sim_receiver_auth_missing_total",
 }
 
 
@@ -276,6 +280,10 @@ def instrument_node(obs: Observability, node, role: Optional[str] = None) -> Non
             counter.value = float(getattr(receiver_stats, field))
         pending_gauge.set(receiver.pending)
         pending_max_gauge.set(receiver.max_pending)
+        for channel, fails in sorted(receiver.auth_fail_by_channel.items()):
+            registry.counter(
+                "sim_receiver_auth_fail_channel_total", node=name, channel=str(channel)
+            ).value = float(fails)
 
     registry.register_collector(collect)
 

@@ -8,7 +8,9 @@ print it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
+from repro.protocol.auth import AuthConfig
 from repro.sharing.base import SecretSharingScheme
 from repro.sharing.shamir import ShamirScheme
 
@@ -65,6 +67,14 @@ class ProtocolConfig:
             only the Python/GF overhead drops.  Ignored in synthetic,
             Byzantine-robust and finite-CPU modes, which keep per-symbol
             completion semantics.
+        auth: when set, every transmitted share carries a keyed MAC
+            (:mod:`repro.protocol.auth`) and the receiver verifies before
+            reassembly: bad-tag shares are dropped as *erasures*, so with
+            ``byzantine_tolerance > 0`` recovery holds with up to
+            ``m - k`` corrupted channels instead of ``floor((m-k)/2)``,
+            and forgery is detected even at ``k = m``.  Requires real
+            share payloads (a tag over a synthetic share authenticates
+            nothing).
     """
 
     kappa: float = 1.0
@@ -82,6 +92,7 @@ class ProtocolConfig:
     byzantine_tolerance: int = 0
     sender_batch_limit: int = 1
     batch_reconstruct: bool = False
+    auth: Optional[AuthConfig] = None
 
     def __post_init__(self) -> None:
         if not 1.0 <= self.kappa <= self.mu:
@@ -115,8 +126,13 @@ class ProtocolConfig:
                 raise ValueError(
                     "robust decoding is implemented for Shamir shares only"
                 )
-            if math.floor(self.mu) < k_min + 2 * self.byzantine_tolerance:
+            if self.auth is None and math.floor(self.mu) < k_min + 2 * self.byzantine_tolerance:
+                # With auth, verified-bad shares are erasures (cost one
+                # unit of redundancy each), so the 2e headroom is not
+                # required -- k verified shares reconstruct.
                 raise ValueError(
                     f"correcting e={self.byzantine_tolerance} corruptions needs "
                     f"⌊µ⌋ >= ⌊κ⌋ + 2e (got κ={self.kappa}, µ={self.mu})"
                 )
+        if self.auth is not None and self.share_synthetic:
+            raise ValueError("authenticated shares need real share payloads")

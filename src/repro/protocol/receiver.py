@@ -24,9 +24,10 @@ from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 from repro.netsim.engine import Engine, Event
 from repro.netsim.host import CpuModel
 from repro.netsim.packet import Datagram
+from repro.protocol.auth import ShareAuthenticator
 from repro.protocol.wire import WireFormatError, decode_share
 from repro.sharing.base import ReconstructionError, SecretSharingScheme, Share
-from repro.sharing.robust import robust_reconstruct
+from repro.sharing.robust import reconstruct_with_erasures, robust_reconstruct
 
 #: How many completed sequence numbers to remember for late-share
 #: classification, as a multiple of the reassembly limit.
@@ -69,6 +70,16 @@ class ReceiverStats:
     repair_extensions: int = 0
     #: Symbols delivered only thanks to at least one repair round.
     repair_recovered: int = 0
+    #: Shares whose keyed MAC verified (auth armed).  Aggregate-only
+    #: counters, like :attr:`replayed_shares_dropped`, so flow blocks keep
+    #: their historical shape; per-channel attribution lives on the buffer
+    #: (:attr:`ReassemblyBuffer.auth_fail_by_channel`).
+    auth_verified_shares: int = 0
+    #: Shares dropped before reassembly because their tag failed to verify
+    #: (corruption, forgery, or a cross-flow/cross-slot replant).
+    auth_failed_shares: int = 0
+    #: Shares dropped because auth is armed but the frame carried no tag.
+    auth_missing_shares: int = 0
     #: Per-flow counters, keyed by nonzero flow id (see FLOW_RECEIVER_FIELDS).
     flows: Dict[int, Dict[str, int]] = field(default_factory=dict)
 
@@ -102,7 +113,7 @@ class _Entry:
 
     __slots__ = (
         "seq", "k", "m", "shares", "channels", "first_at", "sent_at", "evict_event",
-        "repair_rounds", "flow",
+        "repair_rounds", "flow", "erasures", "erasure_channels",
     )
 
     def __init__(
@@ -118,6 +129,11 @@ class _Entry:
         self.sent_at = sent_at
         self.evict_event: Optional[Event] = None
         self.repair_rounds = 0  # NACK rounds used (resilience repair path)
+        #: Share indices seen only with a failed MAC (auth armed): known-bad
+        #: *positions*, fed to erasure decoding; a later verified arrival
+        #: for the same index clears the erasure.
+        self.erasures: Set[int] = set()
+        self.erasure_channels: Dict[int, int] = {}  # erased index -> channel
 
 
 class ReassemblyBuffer:
@@ -142,6 +158,14 @@ class ReassemblyBuffer:
         byzantine_tolerance: corrupted shares to correct per symbol; when
             positive, completion waits for ``min(m, k + 2e)`` shares and
             decodes with :func:`repro.sharing.robust.robust_reconstruct`.
+        authenticator: when set, every share's keyed MAC is verified
+            *before* reassembly (docs/AUTH.md): bad-tag shares never open
+            or fill an entry -- they are counted, attributed per channel,
+            and recorded as *erasures* -- and completion needs only k
+            verified shares, decoded through
+            :func:`repro.sharing.robust.reconstruct_with_erasures` when
+            Byzantine tolerance is on.  Recovery then survives up to
+            ``m - k`` corrupted channels instead of ``floor((m-k)/2)``.
         batch_reconstruct: when True, symbols completing at the same
             simulation instant are decoded together through
             :meth:`~repro.sharing.base.SecretSharingScheme.reconstruct_many`
@@ -163,6 +187,7 @@ class ReassemblyBuffer:
         reconstruct_cost_per_k: float = 1.0,
         byzantine_tolerance: int = 0,
         batch_reconstruct: bool = False,
+        authenticator: Optional[ShareAuthenticator] = None,
     ):
         self.engine = engine
         self.scheme = scheme
@@ -174,8 +199,12 @@ class ReassemblyBuffer:
         self.share_cost = share_cost
         self.reconstruct_cost_per_k = reconstruct_cost_per_k
         self.byzantine_tolerance = byzantine_tolerance
+        self.authenticator = authenticator
         self.stats = ReceiverStats()
         self.corrupt_by_channel: Dict[int, int] = {}
+        #: MAC-verification failures attributed per arrival channel (the
+        #: resilience layer folds deltas into channel suspicion).
+        self.auth_fail_by_channel: Dict[int, int] = {}
         #: Most incomplete symbols ever held at once (buffer high-water mark).
         self.max_pending = 0
         #: Optional instruments attached by :mod:`repro.obs.instrument`:
@@ -245,6 +274,30 @@ class ReassemblyBuffer:
             flow = header.flow
         self.stats.count(flow, "shares_received")
 
+        if self.authenticator is not None and not self.synthetic:
+            if not self.authenticator.verify(flow, seq, share, header.scheme_id, header.tag):
+                # Verify before reassembly: an unverified share never opens
+                # or fills an entry (a forged-header flood must not pin
+                # table slots).  If the symbol is already open, the failed
+                # index becomes an erasure -- a known-bad position for the
+                # decoder -- cleared again if a verified copy arrives.
+                if header.tag is None:
+                    self.stats.auth_missing_shares += 1
+                else:
+                    self.stats.auth_failed_shares += 1
+                channel = datagram.meta.get("channel")
+                if channel is not None:
+                    self.auth_fail_by_channel[channel] = (
+                        self.auth_fail_by_channel.get(channel, 0) + 1
+                    )
+                entry = self._table.get((flow, seq))
+                if entry is not None and index not in entry.shares:
+                    entry.erasures.add(index)
+                    if channel is not None:
+                        entry.erasure_channels[index] = channel
+                return
+            self.stats.auth_verified_shares += 1
+
         key = (flow, seq)
         if key in self._closed:
             self.stats.count(flow, "late_shares")
@@ -265,6 +318,11 @@ class ReassemblyBuffer:
             return
         # Synthetic mode stores a placeholder; real mode stores the share.
         entry.shares[index] = share
+        if index in entry.erasures:
+            # A verified copy supersedes the earlier failed one: the
+            # position is no longer an erasure.
+            entry.erasures.discard(index)
+            entry.erasure_channels.pop(index, None)
         channel = datagram.meta.get("channel")
         if channel is not None:
             entry.channels[index] = channel
@@ -276,8 +334,13 @@ class ReassemblyBuffer:
 
         Plain operation completes at k; Byzantine-tolerant operation waits
         for 2e extra shares (capped at m, beyond which no more will come).
+        With auth armed every stored share is individually verified, so k
+        of them suffice -- the erasure-radius payoff: up to m - k corrupted
+        channels survived instead of floor((m - k) / 2).
         """
         if self.byzantine_tolerance == 0 or self.synthetic:
+            return entry.k
+        if self.authenticator is not None:
             return entry.k
         return min(entry.m, entry.k + 2 * self.byzantine_tolerance)
 
@@ -328,7 +391,15 @@ class ReassemblyBuffer:
                 payload: Optional[bytes] = None
             elif self.byzantine_tolerance > 0:
                 try:
-                    result = robust_reconstruct(list(entry.shares.values()))
+                    if self.authenticator is not None:
+                        # Every stored share carries a verified MAC, so the
+                        # failed positions are *erasures*: decode from the
+                        # survivors with no residual-error search.
+                        result = reconstruct_with_erasures(
+                            list(entry.shares.values()), entry.erasures
+                        )
+                    else:
+                        result = robust_reconstruct(list(entry.shares.values()))
                 except ReconstructionError:
                     self.stats.reconstruction_errors += 1
                     return
@@ -336,7 +407,9 @@ class ReassemblyBuffer:
                 if result.corrupted:
                     self.stats.corrupt_shares_detected += len(result.corrupted)
                     for index in result.corrupted:
-                        channel = entry.channels.get(index)
+                        channel = entry.channels.get(
+                            index, entry.erasure_channels.get(index)
+                        )
                         if channel is not None:
                             self.corrupt_by_channel[channel] = (
                                 self.corrupt_by_channel.get(channel, 0) + 1

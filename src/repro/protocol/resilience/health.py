@@ -18,6 +18,13 @@ protocol would obtain from receiver reports, exactly as
   when an explicit schedule head-of-line-stalls the sender so completely
   that no loss evidence is generated.
 
+With authenticated shares armed (docs/AUTH.md) the review also feeds
+verified-failure evidence: shares whose keyed MAC failed at the receiver
+(``tainted_delta``) count against the channel exactly like loss, so a
+forgery-heavy channel accrues suspicion and gets quarantined like a
+lossy one -- an attacker cannot keep a channel "healthy" by delivering
+garbage on time.
+
 Everything is pure arithmetic on review-time deltas: no wall clock, no
 randomness, no unordered iteration.
 """
@@ -94,6 +101,7 @@ class HealthMonitor:
         loss_delta: int,
         delivered_delta: int,
         blocked: bool,
+        tainted_delta: int = 0,
     ) -> HealthSample:
         """Fold one review interval's counters into the detector.
 
@@ -105,11 +113,17 @@ class HealthMonitor:
             delivered_delta: packets delivered since last review (the
                 receiver-feedback stand-in; evidence of liveness).
             blocked: whether the port currently refuses writes.
+            tainted_delta: shares delivered on this channel whose keyed
+                MAC failed verification since last review (auth armed).
+                A verified-bad delivery is as useless as a loss, so it
+                folds into the loss EWMA -- clamped so loss + taint never
+                exceeds what was actually serialized.
         """
         state = self._channels[channel]
         alpha = self.config.loss_alpha
         if serialized_delta > 0:
-            observed = loss_delta / serialized_delta
+            useless = min(loss_delta + max(tainted_delta, 0), serialized_delta)
+            observed = useless / serialized_delta
             state.loss_ewma = (1.0 - alpha) * state.loss_ewma + alpha * observed
         state.sent_since_evidence += serialized_delta
         if delivered_delta > 0:

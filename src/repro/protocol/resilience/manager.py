@@ -47,6 +47,7 @@ from repro.protocol.wire import (
     CTRL_NACK,
     CTRL_PROBE,
     CTRL_PROBE_ACK,
+    SCHEME_IDS,
     WireFormatError,
     decode_control,
     encode_nack,
@@ -150,6 +151,9 @@ class ResilienceManager:
         self._last_serialized = [0] * n
         self._last_loss_drops = [0] * n
         self._last_delivered = [0] * n
+        #: Per-channel MAC-failure counts at the previous review (auth
+        #: armed); deltas feed HealthMonitor suspicion like loss does.
+        self._last_auth_fails = [0] * n
         self._review_timer = self.engine.schedule(
             resilience.review_period, self._review
         )
@@ -199,6 +203,7 @@ class ResilienceManager:
     def _review(self) -> None:
         now = self.engine.now
         changed = False
+        auth_fails = self.node_rx.receiver.auth_fail_by_channel
         for i, port in enumerate(self._tx_ports):
             stats = port.link.stats
             serialized_delta = stats.serialized - self._last_serialized[i]
@@ -206,12 +211,15 @@ class ResilienceManager:
                 stats.loss_drops + stats.down_losses
             ) - self._last_loss_drops[i]
             delivered_delta = stats.delivered - self._last_delivered[i]
+            tainted_delta = auth_fails.get(i, 0) - self._last_auth_fails[i]
             self._last_serialized[i] = stats.serialized
             self._last_loss_drops[i] = stats.loss_drops + stats.down_losses
             self._last_delivered[i] = stats.delivered
+            self._last_auth_fails[i] = auth_fails.get(i, 0)
             sample = self.health.observe(
                 now, i, serialized_delta, loss_delta, delivered_delta,
                 blocked=not port.writable(),
+                tainted_delta=tainted_delta,
             )
             transition = self.guards[i].review(now, sample)
             if transition is not None and transition.target is ChannelState.QUARANTINED:
@@ -375,8 +383,19 @@ class ResilienceManager:
                     meta=meta,
                 )
             else:
+                # Repairs are re-tagged per flow: the retransmitted share
+                # occupies the same (flow, seq, index) slot, so its tag is
+                # recomputed with that flow's key -- a repair is as
+                # verifiable as the original transmission.
+                tag = None
+                authenticator = self.node_tx.sender.authenticator
+                if authenticator is not None:
+                    tag = authenticator.tag(
+                        job.flow, job.seq, share,
+                        SCHEME_IDS[self.config.scheme.name],
+                    )
                 packet = encode_share(
-                    job.seq, share, self.config.scheme.name, flow=job.flow
+                    job.seq, share, self.config.scheme.name, flow=job.flow, tag=tag
                 )
                 datagram = Datagram(size=len(packet), payload=packet, meta=meta)
             if port.send(datagram):

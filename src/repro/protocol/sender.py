@@ -29,9 +29,10 @@ from repro.netsim.host import CpuModel
 from repro.netsim.packet import Datagram
 from repro.netsim.ports import ChannelPort
 from repro.netsim.readiness import WriteSelector
+from repro.protocol.auth import ShareAuthenticator
 from repro.protocol.config import ProtocolConfig
 from repro.protocol.scheduler import ParameterSampler
-from repro.protocol.wire import encode_share, share_packet_size
+from repro.protocol.wire import SCHEME_IDS, encode_share, share_packet_size
 from repro.sharing.base import Share
 
 #: Per-flow counter fields tracked inside :class:`SenderStats.flows`.
@@ -60,6 +61,9 @@ class SenderStats:
     #: DEGRADED mode: no feasible schedule survives, so rather than leak
     #: under a weaker threshold the sender sheds load at the source).
     admission_paused_drops: int = 0
+    #: Shares transmitted with a keyed MAC attached (aggregate only --
+    #: auth is all-or-nothing per node, so a per-flow split adds nothing).
+    auth_tagged_shares: int = 0
     #: Per-flow counters, keyed by nonzero flow id (see FLOW_SENDER_FIELDS).
     flows: Dict[int, Dict[str, int]] = field(default_factory=dict)
 
@@ -144,6 +148,11 @@ class ShareSender:
         self.rng = rng
         self.cpu = cpu
         self.selector = WriteSelector(self.ports, config.selector_ordering)
+        #: Tags outbound shares when ``config.auth`` is set (the resilience
+        #: layer reuses it to re-tag repair retransmissions).
+        self.authenticator: Optional[ShareAuthenticator] = (
+            ShareAuthenticator(config.auth) if config.auth is not None else None
+        )
         self.stats = SenderStats()
         self.shares_per_channel = [0] * len(self.ports)
         #: (k, m) -> times the sampler picked that pair (schedule mix audit).
@@ -341,7 +350,9 @@ class ShareSender:
                 channels=[port.index for port in chosen],
             )
         flow = symbol.flow
-        size = share_packet_size(self.config.symbol_size, flow)
+        size = share_packet_size(
+            self.config.symbol_size, flow, authenticated=self.authenticator is not None
+        )
         meta_base = {"seq": symbol.seq, "k": symbol.k, "m": symbol.m}
         if flow != 0:
             meta_base["flow"] = flow
@@ -360,8 +371,16 @@ class ShareSender:
             if shares[position] is None:
                 datagram = Datagram(size=size, meta=meta)
             else:
+                tag = None
+                if self.authenticator is not None:
+                    tag = self.authenticator.tag(
+                        flow, symbol.seq, shares[position],
+                        SCHEME_IDS[self.config.scheme.name],
+                    )
+                    self.stats.auth_tagged_shares += 1
                 packet = encode_share(
-                    symbol.seq, shares[position], self.config.scheme.name, flow=flow
+                    symbol.seq, shares[position], self.config.scheme.name,
+                    flow=flow, tag=tag,
                 )
                 datagram = Datagram(size=len(packet), payload=packet, meta=meta)
             if port.send(datagram):

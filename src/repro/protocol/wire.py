@@ -37,6 +37,19 @@ than rejected (a version 2 parser skips extensions it knows the length
 of; it never guesses at unknown ones, which is why new extensions must
 bump the version).
 
+**Authentication (version 3).**  An authenticated share carries a keyed
+MAC over the header fields and the share body (BLAKE2b in keyed mode,
+truncated to :data:`TAG_SIZE` bytes -- see :mod:`repro.protocol.auth`).
+The ``FLAG_AUTH`` bit is set in the flags byte and the tag follows the
+flow extension (or the fixed header when there is none).  Extension
+order is fixed: flow id first, tag second.  Unauthenticated frames are
+encoded exactly as before -- flow 0 stays version 1 and nonzero flows
+stay version 2, byte-identical to pre-auth senders -- so goldens and
+captures keep their exact shape; only tagged frames bump to version 3.
+Decoding stays version-tolerant: a version 3 packet without
+``FLAG_AUTH`` simply has no tag, and unknown flag bits in version 3 are
+ignored just as in version 2.
+
 The resilience layer (:mod:`repro.protocol.resilience`) adds small
 *control* packets under a distinct magic (0x5243, "RC") so they can never
 be confused with share traffic:
@@ -56,7 +69,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Iterable, Tuple
+from typing import Iterable, Optional, Tuple
 
 from repro.sharing.base import Share
 
@@ -71,8 +84,15 @@ _MAGIC = 0x5253
 SHARE_MAGIC = _MAGIC
 _VERSION = 1
 _VERSION_FLOW = 2
+_VERSION_AUTH = 3
 #: Flags bit: a 4-byte big-endian flow id follows the fixed header.
 FLAG_FLOW = 0x01
+#: Flags bit (version 3): a :data:`TAG_SIZE`-byte keyed MAC follows the
+#: flow extension (or the fixed header when there is none).
+FLAG_AUTH = 0x02
+#: Bytes of truncated keyed-BLAKE2b tag carried by an authenticated
+#: frame (see :mod:`repro.protocol.auth` for the tag construction).
+TAG_SIZE = 16
 _STRUCT = struct.Struct(">HBBQBBBB")
 _FLOW_STRUCT = struct.Struct(">I")
 #: Largest flow id the 4-byte extension can carry.
@@ -114,23 +134,34 @@ class ShareHeader:
     m: int
     #: Flow id the share belongs to (0 = the default single-flow stream).
     flow: int = 0
+    #: Keyed MAC carried by a version 3 authenticated frame; ``None`` for
+    #: unauthenticated frames.  The tag is public wire material (it is
+    #: *verified* against the share, never used to derive anything).
+    tag: Optional[bytes] = None
 
     @property
     def scheme_name(self) -> str:
         return SCHEME_NAMES.get(self.scheme_id, f"unknown({self.scheme_id})")
 
 
-def share_packet_size(payload_size: int, flow: int = 0) -> int:
+def share_packet_size(payload_size: int, flow: int = 0, authenticated: bool = False) -> int:
     """Total wire size of a share packet for a ``payload_size``-byte share."""
-    return payload_size + (HEADER_SIZE if flow == 0 else FLOW_HEADER_SIZE)
+    size = payload_size + (HEADER_SIZE if flow == 0 else FLOW_HEADER_SIZE)
+    return size + TAG_SIZE if authenticated else size
 
 
-def encode_share(seq: int, share: Share, scheme_name: str, flow: int = 0) -> bytes:
+def encode_share(
+    seq: int, share: Share, scheme_name: str, flow: int = 0,
+    tag: Optional[bytes] = None,
+) -> bytes:
     """Serialise a share of symbol ``seq`` into a wire packet.
 
     ``flow`` 0 (the default) emits a version 1 packet, byte-identical to
     pre-flow encodings; a nonzero flow emits a version 2 packet with the
-    flow extension.
+    flow extension.  A ``tag`` (a :data:`TAG_SIZE`-byte keyed MAC, see
+    :mod:`repro.protocol.auth`) bumps the frame to version 3 with
+    ``FLAG_AUTH`` set; untagged frames are byte-identical to pre-auth
+    encodings.
 
     Raises:
         ValueError: for out-of-range fields or unknown scheme names.
@@ -145,6 +176,16 @@ def encode_share(seq: int, share: Share, scheme_name: str, flow: int = 0) -> byt
         raise ValueError(
             f"header fields out of range: index={share.index}, k={share.k}, m={share.m}"
         )
+    if tag is not None and len(tag) != TAG_SIZE:
+        raise ValueError(f"tag must be {TAG_SIZE} bytes, got {len(tag)}")
+    if tag is not None:
+        flags = FLAG_AUTH | (FLAG_FLOW if flow != 0 else 0)
+        header = _STRUCT.pack(
+            _MAGIC, _VERSION_AUTH, SCHEME_IDS[scheme_name], seq,
+            share.index, share.k, share.m, flags,
+        )
+        extension = _FLOW_STRUCT.pack(flow) if flow != 0 else b""
+        return header + extension + tag + share.data
     if flow == 0:
         header = _STRUCT.pack(
             _MAGIC, _VERSION, SCHEME_IDS[scheme_name], seq, share.index, share.k, share.m, 0
@@ -162,7 +203,10 @@ def decode_share(packet: bytes) -> Tuple[ShareHeader, Share]:
 
     Version 1 packets decode as flow 0; version 2 packets carry the flow
     in the ``FLAG_FLOW`` extension (absent extension means flow 0, and
-    unknown flag bits are ignored).
+    unknown flag bits are ignored).  Version 3 packets may additionally
+    carry a :data:`TAG_SIZE`-byte MAC in the ``FLAG_AUTH`` extension
+    (flow first, tag second); ``FLAG_AUTH`` without enough bytes for the
+    tag is a truncation error.
 
     Raises:
         WireFormatError: for truncated packets, bad magic, or unsupported
@@ -176,11 +220,11 @@ def decode_share(packet: bytes) -> Tuple[ShareHeader, Share]:
         raise WireFormatError(str(exc)) from exc  # escape as struct.error
     if magic != _MAGIC:
         raise WireFormatError(f"bad magic 0x{magic:04x}")
-    if version not in (_VERSION, _VERSION_FLOW):
+    if version not in (_VERSION, _VERSION_FLOW, _VERSION_AUTH):
         raise WireFormatError(f"unsupported version {version}")
     flow = 0
     offset = HEADER_SIZE
-    if version == _VERSION_FLOW and flags & FLAG_FLOW:
+    if version >= _VERSION_FLOW and flags & FLAG_FLOW:
         if len(packet) < FLOW_HEADER_SIZE:
             raise WireFormatError(
                 f"packet of {len(packet)} bytes is shorter than the flow header"
@@ -190,7 +234,18 @@ def decode_share(packet: bytes) -> Tuple[ShareHeader, Share]:
         except struct.error as exc:
             raise WireFormatError(str(exc)) from exc
         offset = FLOW_HEADER_SIZE
-    header = ShareHeader(scheme_id=scheme_id, seq=seq, index=index, k=k, m=m, flow=flow)
+    tag = None
+    if version >= _VERSION_AUTH and flags & FLAG_AUTH:
+        if len(packet) < offset + TAG_SIZE:
+            raise WireFormatError(
+                f"FLAG_AUTH set but packet of {len(packet)} bytes cannot carry "
+                f"a {TAG_SIZE}-byte tag at offset {offset}"
+            )
+        tag = packet[offset:offset + TAG_SIZE]
+        offset += TAG_SIZE
+    header = ShareHeader(
+        scheme_id=scheme_id, seq=seq, index=index, k=k, m=m, flow=flow, tag=tag
+    )
     try:
         share = Share(index=index, data=packet[offset:], k=k, m=m)
     except ValueError as exc:

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations
-from typing import FrozenSet, Sequence
+from typing import FrozenSet, Iterable, Sequence
 
 
 
@@ -42,6 +42,18 @@ def max_correctable_errors(num_shares: int, k: int) -> int:
     if num_shares < k:
         raise ValueError(f"need at least k={k} shares, got {num_shares}")
     return (num_shares - k) // 2
+
+
+def max_recoverable_erasures(num_shares: int, k: int) -> int:
+    """The erasure radius: ``n - k`` shares whose *positions* are known bad.
+
+    An erasure costs one unit of redundancy where an error costs two --
+    authenticated shares (:mod:`repro.protocol.auth`) turn corrupted
+    channels into erasures and double the tolerable corruption.
+    """
+    if num_shares < k:
+        raise ValueError(f"need at least k={k} shares, got {num_shares}")
+    return num_shares - k
 
 
 def evaluate_shares_at(shares: Sequence[Share], x: int) -> bytes:
@@ -139,6 +151,79 @@ def robust_reconstruct(shares: Sequence[Share], errors: int = None) -> RobustRes
     raise ReconstructionError(
         f"no degree-{k - 1} polynomial explains {required} of {n} shares "
         f"(corruption beyond the decoding radius?)"
+    )
+
+
+def reconstruct_with_erasures(
+    shares: Sequence[Share],
+    erasures: Iterable[int] = (),
+    errors: int = 0,
+) -> RobustResult:
+    """Recover the secret when some share *positions* are known to be bad.
+
+    Erasure decoding: shares whose ``index`` appears in ``erasures`` are
+    excluded up front, so each costs one unit of redundancy instead of the
+    two an unlocated error costs -- with ``n`` shares and ``t`` erasures,
+    recovery holds whenever ``n - t >= k + 2 * errors``.  With
+    ``errors = 0`` (the authenticated-share case, where every surviving
+    share carries a verified MAC) that is the full erasure radius
+    ``n - k`` of :func:`max_recoverable_erasures`, including the
+    ``k = m`` boundary where the error radius is zero.
+
+    Args:
+        shares: delivered shares (all claiming the same (k, m)), possibly
+            including the erased ones.
+        erasures: share ``index`` values known to be corrupt (e.g. failed
+            MAC verification).
+        errors: additional *unlocated* errors to tolerate among the
+            surviving shares (0 when survivors are individually verified).
+
+    Returns:
+        The secret plus the corrupt share indices (the erasures, unioned
+        with any errors located among the survivors).
+
+    Raises:
+        ReconstructionError: if fewer than ``k + 2 * errors`` shares
+            survive the erasures, or the survivors are inconsistent.
+    """
+    erased = frozenset(erasures)
+    group = [share for share in shares if share.index not in erased]
+    if not group:
+        raise ReconstructionError("no shares survive the erasures")
+    k = check_share_group(group)
+    n = len(group)
+    if n < k + 2 * errors:
+        raise ReconstructionError(
+            f"only {n} shares survive {len(erased)} erasures; need "
+            f"{k + 2 * errors} for k={k} with {errors} residual errors"
+        )
+    if errors > 0:
+        # Errors may hide among the survivors: fall back to candidate
+        # search over the survivors and union the located errors in.
+        # Index sets and agreement counts are aggregate facts, not secret
+        # bytes (docs/TAINT.md); only `secret` itself stays tainted.
+        result = robust_reconstruct(group, errors=errors)
+        corrupted = frozenset(result.corrupted | erased)  # taint: declassified
+        agreement = int(result.agreement)  # taint: declassified
+        return RobustResult(
+            secret=result.secret,
+            corrupted=corrupted,
+            agreement=agreement,
+        )
+    lengths = {len(share.data) for share in group}
+    if len(lengths) != 1:
+        raise ReconstructionError(f"shares have inconsistent lengths: {sorted(lengths)}")
+    candidate = group[:k]
+    for extra in group[k:]:
+        if evaluate_shares_at(candidate, extra.index) != extra.data:
+            raise ReconstructionError(
+                f"share {extra.index} disagrees with the erasure decoding "
+                f"(unlocated corruption with errors=0)"
+            )
+    return RobustResult(
+        secret=evaluate_shares_at(candidate, 0),
+        corrupted=erased,
+        agreement=n,
     )
 
 

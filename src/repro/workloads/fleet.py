@@ -33,6 +33,7 @@ def run_fleet(
     batch_reconstruct: bool = True,
     quantum: float = 1.0,
     queue_limit: int = 64,
+    auth: bool = False,
     spec_id: str = "fleet/default",
     obs: Optional[Any] = None,
     cache: Optional[Any] = None,
@@ -55,6 +56,9 @@ def run_fleet(
         sender_batch_limit: symbols per ``split_many`` call on the send
             hot path (bit-identical to 1; see docs/FLEET.md).
         batch_reconstruct: coalesce same-instant reconstructions.
+        auth: arm authenticated shares per cell (requires
+            ``synthetic=False``; tenant flows get isolated per-flow MAC
+            keys -- see docs/AUTH.md).
         quantum: DRR credit per visit (symbols).
         queue_limit: per-flow mux queue bound.
         spec_id: sweep spec id (part of every cell's seed derivation).
@@ -83,4 +87,5 @@ def run_fleet(
         batch_reconstruct=batch_reconstruct,
         quantum=quantum,
         queue_limit=queue_limit,
+        auth=auth,
     )

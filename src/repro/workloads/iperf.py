@@ -122,6 +122,7 @@ def run_iperf(
     obs: Optional[Observability] = None,
     resilience: Optional[ResilienceConfig] = None,
     requirements: Optional[Requirements] = None,
+    auth: "bool | bytes" = False,
 ) -> IperfResult:
     """Run one iperf-style measurement and return its results.
 
@@ -157,9 +158,20 @@ def run_iperf(
         requirements: deployment bounds for the resilience layer's LP
             failover; without them failover masks the dynamic selector
             instead of re-planning.
+        auth: arm authenticated shares (docs/AUTH.md).  ``True`` derives
+            the root key from ``seed``; a ``bytes`` value is used as the
+            root key directly.  Overrides ``config.auth`` when set; the
+            config must use real share payloads.
     """
     if offered_rate <= 0:
         raise ValueError(f"offered_rate must be positive, got {offered_rate}")
+    if auth:
+        from dataclasses import replace
+
+        from repro.protocol.auth import AuthConfig, derive_root_key
+
+        root_key = auth if isinstance(auth, (bytes, bytearray)) else derive_root_key(seed)
+        config = replace(config, auth=AuthConfig(root_key=bytes(root_key)))
     registry = RngRegistry(seed)
     network = PointToPointNetwork(
         channels, config.symbol_size, registry, queue_limit=queue_limit

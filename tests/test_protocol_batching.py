@@ -136,6 +136,7 @@ class TestStatsJsonShape:
     HISTORICAL_SENDER_KEYS = {
         "symbols_offered", "symbols_sent", "source_drops", "shares_sent",
         "share_send_failures", "readiness_stalls", "admission_paused_drops",
+        "auth_tagged_shares",
     }
 
     def test_sender_stats_flow0_shape_unchanged(self):

@@ -14,7 +14,12 @@ import pytest
 
 from repro.adversary.active import canonical_attack, run_under_attack
 from repro.sharing.base import ReconstructionError, Share
-from repro.sharing.robust import max_correctable_errors, robust_reconstruct
+from repro.sharing.robust import (
+    max_correctable_errors,
+    max_recoverable_erasures,
+    reconstruct_with_erasures,
+    robust_reconstruct,
+)
 from repro.sharing.shamir import ShamirScheme
 
 scheme = ShamirScheme()
@@ -67,6 +72,53 @@ class TestKEqualsM:
         result = robust_reconstruct(shares)
         assert result.secret != SECRET
         assert result.corrupted == frozenset()
+
+
+class TestKEqualsMUnderAuth:
+    """With authenticated shares the k = m boundary flips from silent
+    corruption to detected-and-dropped: a bad-tag share becomes an
+    erasure, and with zero erasure budget (m - k = 0) the decoder refuses
+    rather than inventing a wrong secret.  The unauthenticated pin above
+    (``test_zero_redundancy_means_zero_detection``) stays as-is -- the
+    contrast IS the guarantee."""
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 5])
+    def test_erasure_radius_is_zero(self, k):
+        assert max_recoverable_erasures(k, k) == 0
+
+    def test_clean_group_still_reconstructs(self):
+        result = reconstruct_with_erasures(make_shares(3, 3))
+        assert result.secret == SECRET
+        assert result.corrupted == frozenset()
+        assert result.agreement == 3
+
+    def test_known_bad_position_is_refused_not_silent(self):
+        # The MAC check turned share 2's corruption into an erasure; the
+        # k = m decoder now has only k - 1 survivors and must refuse.
+        shares = make_shares(3, 3)
+        shares[1] = rewrite(shares[1])
+        with pytest.raises(ReconstructionError):
+            reconstruct_with_erasures(shares, erasures={2})
+
+    def test_end_to_end_corruption_at_k_equals_m_never_accepts(self):
+        # κ = µ = 3: zero redundancy end to end.  Unauth this geometry is
+        # the silent-corruption worst case; with auth every corrupted
+        # share fails verification, its symbol times out incomplete, and
+        # nothing wrong is ever delivered.
+        plan = canonical_attack(
+            "corruption_storm", 4.0, 24.0, channel=1, rate=1.0, mode="rewrite"
+        )
+        row = run_under_attack(
+            plan, kappa=3.0, mu=3.0, tolerance=1, duration=20.0, seed=7,
+            auth=True,
+        )
+        assert row["auth_armed"] is True
+        assert row["wrong_payloads"] == 0
+        assert row["receiver"]["auth_failed_shares"] > 0
+        assert set(row["auth_fail_by_channel"]) == {"1"}
+        # Detected means *dropped*, not repaired: with zero redundancy the
+        # hit symbols are lost, and that shortfall is visible, not silent.
+        assert row["delivered"] < row["transmitted"]
 
 
 class TestAtTheBound:

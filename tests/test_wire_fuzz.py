@@ -13,6 +13,9 @@ import numpy as np
 import pytest
 
 from repro.protocol.wire import (
+    FLAG_AUTH,
+    HEADER_SIZE,
+    TAG_SIZE,
     WireFormatError,
     decode_control,
     decode_share,
@@ -28,12 +31,18 @@ scheme = ShamirScheme()
 
 TRIALS = 400
 
+TAG = bytes(range(TAG_SIZE))
+
 
 def valid_packets():
     rng = np.random.default_rng(17)
     shares = scheme.split(b"fuzzing the wire format decoders", 3, 5, rng)
     packets = [encode_share(9, share, scheme.name) for share in shares]
     packets += [encode_share(9, share, scheme.name, flow=4) for share in shares]
+    packets += [encode_share(9, share, scheme.name, tag=TAG) for share in shares]
+    packets += [
+        encode_share(9, share, scheme.name, flow=4, tag=TAG) for share in shares
+    ]
     packets += [
         encode_probe(2, 0xDEADBEEF),
         encode_probe_ack(2, 0xDEADBEEF),
@@ -103,6 +112,93 @@ class TestDecodeTotality:
                 decode_any(bytes(packet))
             except WireFormatError:
                 pass
+
+
+class TestAuthFrameTolerance:
+    """Version 3 (FLAG_AUTH) edges of the decode-totality contract."""
+
+    def _v3_packet(self, flow=0):
+        rng = np.random.default_rng(55)
+        share = scheme.split(b"v3 auth frame fuzz seed payload!", 3, 5, rng)[0]
+        return encode_share(21, share, scheme.name, flow=flow, tag=TAG)
+
+    def test_garbage_tag_bytes_still_decode(self):
+        """A corrupted tag is a *verification* failure, not a parse error:
+        the decoder must hand it up intact for the MAC check."""
+        rng = np.random.default_rng(606)
+        packet = bytearray(self._v3_packet())
+        for _ in range(TRIALS):
+            position = HEADER_SIZE + int(rng.integers(0, TAG_SIZE))
+            packet[position] = int(rng.integers(0, 256))
+            header, _ = decode_share(bytes(packet))
+            assert header.tag == bytes(packet[HEADER_SIZE : HEADER_SIZE + TAG_SIZE])
+
+    def test_truncated_tag_is_wire_error(self):
+        packet = self._v3_packet()
+        for cut in range(HEADER_SIZE, HEADER_SIZE + TAG_SIZE):
+            with pytest.raises(WireFormatError):
+                decode_share(packet[:cut])
+
+    def test_flag_auth_with_no_tag_bytes_is_wire_error(self):
+        """A bare v3 header claiming FLAG_AUTH but carrying zero extension
+        bytes must be rejected as truncated, never sliced short."""
+        packet = self._v3_packet()[:HEADER_SIZE]
+        with pytest.raises(WireFormatError):
+            decode_share(packet)
+
+    def test_v3_without_flag_auth_means_no_tag(self):
+        packet = bytearray(self._v3_packet())
+        packet[15] &= ~FLAG_AUTH
+        header, share = decode_share(bytes(packet))
+        assert header.tag is None
+        # The tag bytes are no longer claimed, so they land in the body.
+        assert share.data.startswith(TAG)
+
+    def test_unknown_flag_bits_are_ignored(self):
+        reference_header, reference_share = decode_share(self._v3_packet(flow=4))
+        packet = bytearray(self._v3_packet(flow=4))
+        packet[15] |= 0xF4  # every undefined bit
+        header, share = decode_share(bytes(packet))
+        assert header.tag == reference_header.tag
+        assert header.flow == reference_header.flow
+        assert share.data == reference_share.data
+
+    def test_mutated_v3_packets_keep_the_contract(self):
+        rng = np.random.default_rng(707)
+        packets = [self._v3_packet(), self._v3_packet(flow=4)]
+        for _ in range(TRIALS):
+            packet = bytearray(packets[int(rng.integers(0, len(packets)))])
+            position = int(rng.integers(2, len(packet)))
+            packet[position] = int(rng.integers(0, 256))
+            try:
+                decode_any(bytes(packet))
+            except WireFormatError:
+                pass
+
+    def test_truncations_of_v3_packets(self):
+        for packet in (self._v3_packet(), self._v3_packet(flow=4)):
+            for cut in range(len(packet)):
+                try:
+                    decode_any(packet[:cut])
+                except WireFormatError:
+                    pass
+
+    def test_tag_length_is_not_attacker_controlled(self):
+        """No header field can stretch or shrink the tag region: the slice
+        is a fixed TAG_SIZE regardless of surrounding bytes."""
+        rng = np.random.default_rng(808)
+        base = self._v3_packet()
+        for _ in range(TRIALS):
+            packet = bytearray(base)
+            # Mutate seq/index/k/m (bytes 4..14) but preserve magic,
+            # version and flags so the auth path is always taken.
+            position = int(rng.integers(4, 15))
+            packet[position] = int(rng.integers(0, 256))
+            try:
+                header, _ = decode_share(bytes(packet))
+            except WireFormatError:
+                continue
+            assert header.tag is not None and len(header.tag) == TAG_SIZE
 
 
 class TestDecodeErrors:

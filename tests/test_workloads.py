@@ -127,6 +127,35 @@ class TestIperf:
         with pytest.raises(ValueError):
             run_iperf(identical_setup(10.0), ProtocolConfig(), offered_rate=0.0)
 
+    def test_auth_mode_delivers_and_counts_tags(self):
+        channels = identical_setup(50.0)
+        config = ProtocolConfig(kappa=2.0, mu=3.0)
+        result = run_iperf(
+            channels, config, offered_rate=30.0, duration=5.0, warmup=1.0, auth=True
+        )
+        assert result.symbols_delivered > 0
+        assert result.sender_stats["auth_tagged_shares"] > 0
+        assert result.receiver_stats["auth_verified_shares"] > 0
+        assert result.receiver_stats["auth_failed_shares"] == 0  # no adversary
+
+    def test_auth_accepts_explicit_root_key(self):
+        channels = identical_setup(50.0)
+        config = ProtocolConfig(kappa=2.0, mu=3.0)
+        result = run_iperf(
+            channels, config, offered_rate=30.0, duration=5.0, warmup=1.0,
+            auth=b"an out-of-band 16B+",
+        )
+        assert result.symbols_delivered > 0
+        assert result.receiver_stats["auth_verified_shares"] > 0
+
+    def test_auth_rejects_synthetic_shares(self):
+        config = ProtocolConfig(kappa=2.0, mu=3.0, share_synthetic=True)
+        with pytest.raises(ValueError):
+            run_iperf(
+                identical_setup(10.0), config, offered_rate=5.0, duration=2.0,
+                auth=True,
+            )
+
     def test_deterministic_given_seed(self):
         channels = lossy_setup()
         config = ProtocolConfig(kappa=2.0, mu=3.0, share_synthetic=True)
